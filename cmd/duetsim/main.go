@@ -1,0 +1,211 @@
+// Command duetsim regenerates the tables and figures of "Duet: Creating
+// Harmony between Processors and Embedded FPGAs" (HPCA 2023) from live
+// simulation:
+//
+//	duetsim table1          # area/frequency of Dolly hard components
+//	duetsim table2          # soft accelerator synthesis results
+//	duetsim fig9            # CPU-eFPGA communication latency breakdown
+//	duetsim fig10           # single-processor bandwidth vs eFPGA clock
+//	duetsim fig11           # per-processor bandwidth vs contention
+//	duetsim fig12           # application speedups and ADP
+//	duetsim all             # everything
+//
+// Absolute numbers come from this repository's cycle-level models; the
+// paper's own numbers are printed alongside where published. See
+// EXPERIMENTS.md for the paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"duet/internal/accel"
+	"duet/internal/apps"
+	"duet/internal/area"
+	"duet/internal/sim"
+	"duet/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller workloads (faster, less stable numbers)")
+	flag.Parse()
+	cmds := flag.Args()
+	if len(cmds) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	for _, cmd := range cmds {
+		switch cmd {
+		case "table1":
+			table1()
+		case "table2":
+			table2()
+		case "fig9":
+			fig9()
+		case "fig10":
+			fig10()
+		case "fig11":
+			fig11()
+		case "fig12":
+			fig12(*quick)
+		case "ablations":
+			ablations()
+		case "all":
+			table1()
+			table2()
+			fig9()
+			fig10()
+			fig11()
+			fig12(*quick)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+			usage()
+			os.Exit(2)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] {table1|table2|fig9|fig10|fig11|fig12|ablations|all}...")
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+func table1() {
+	header("Table I: Area and Typical Frequency of Dolly Components (published data + linear scaling model)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Component\tTechnology\tArea (mm2)\tFreq (MHz)\tScaled Area*\tScaled Freq*")
+	for _, c := range area.TableI {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.0f\t%.2f\t%.0f\n",
+			c.Name, c.Technology, c.AreaMM2, c.FreqMHz, c.ScaledArea, c.ScaledFreq)
+	}
+	w.Flush()
+	fmt.Println("* scaled to 45 nm with a linear MOSFET scaling model")
+}
+
+func table2() {
+	header("Table II: Clock Frequency and Area of Soft Accelerators (synthesis cost model vs paper)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Benchmark\tFmax model\tFmax paper\tNormArea model\tNormArea paper\tCLB model\tCLB paper\tBRAM model\tBRAM paper")
+	reports := accel.TableII()
+	for i, p := range accel.PaperTableII {
+		m := reports[i]
+		fmt.Fprintf(w, "%s\t%.0f MHz\t%.0f MHz\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			p.Name, m.FmaxMHz, p.FmaxMHz, m.NormArea, p.NormArea, m.CLBUtil, p.CLBUtil, m.BRAMUtil, p.BRAMUtil)
+	}
+	w.Flush()
+	fmt.Println("(Yosys/VTR/Catapult replaced by the calibrated cost model in internal/efpga/synth.go)")
+}
+
+func fig9() {
+	header("Fig. 9: CPU-eFPGA Communication Latency (Dolly-P1M1, single transaction; lower is better)")
+	freqs := []float64{100, 200, 500}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mechanism\teFPGA MHz\tTotal\tNoC\tFastLogic\tSlowLogic\tCDC")
+	for m := workload.Mechanism(0); m < workload.NumMechanisms; m++ {
+		for _, f := range freqs {
+			r := workload.MeasureLatency(m, f)
+			fmt.Fprintf(w, "%s\t%.0f\t%v\t%v\t%v\t%v\t%v\n",
+				r.Mechanism, r.FreqMHz, r.Total,
+				r.Breakdown[sim.CatNoC], r.Breakdown[sim.CatFast],
+				r.Breakdown[sim.CatSlow], r.Breakdown[sim.CatCDC])
+		}
+	}
+	w.Flush()
+	fmt.Println("Paper: proxy cuts CPU-pull latency 42-82%, eFPGA-pull 13-43%; shadow regs cut 50-80%.")
+}
+
+func fig10() {
+	header("Fig. 10: Processor-eFPGA Bandwidth vs eFPGA Clock (512 quad-words; higher is better)")
+	freqs := []float64{20, 50, 100, 200, 500}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "Mechanism")
+	for _, f := range freqs {
+		fmt.Fprintf(w, "\t%.0f MHz", f)
+	}
+	fmt.Fprintln(w)
+	for m := workload.Mechanism(0); m < workload.NumMechanisms; m++ {
+		fmt.Fprintf(w, "%s", m)
+		for _, f := range freqs {
+			r := workload.MeasureBandwidth(m, f)
+			fmt.Fprintf(w, "\t%.0f MB/s", r.MBps)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println("Paper peaks: eFPGA pull w/ proxy 558 MB/s (>=100MHz), CPU pull 201, shadow regs 213, normal regs 121 @500MHz.")
+}
+
+func fig11() {
+	header("Fig. 11: Per-Processor Bandwidth vs Contending Processors (eFPGA @500MHz)")
+	counts := []int{1, 2, 4, 8, 16}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "Series")
+	for _, n := range counts {
+		fmt.Fprintf(w, "\t%d procs", n)
+	}
+	fmt.Fprintln(w)
+	for k := workload.ContentionKind(0); k < workload.NumContentionKinds; k++ {
+		fmt.Fprintf(w, "%s", k)
+		for _, n := range counts {
+			r := workload.MeasureContention(k, n)
+			fmt.Fprintf(w, "\t%.0f MB/s", r.PerProcMBps)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println("Paper: shadow registers sustain ~8 processors; normal registers only ~2.")
+}
+
+func fig12(quick bool) {
+	header("Fig. 12: Application Benchmark Speedup and ADP (normalized to processor-only)")
+	benches := apps.All()
+	if quick {
+		benches = benches[:7] // single-and-4-core benchmarks only
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Benchmark\tSpeedup Duet\tSpeedup FPSoC\tADP Duet\tADP FPSoC\tCPU runtime\tcheck")
+	var rows []apps.Fig12Row
+	for _, b := range benches {
+		r := apps.RunOne(b)
+		rows = append(rows, r)
+		status := "ok"
+		if r.Err != nil {
+			status = r.Err.Error()
+		}
+		fmt.Fprintf(w, "%s\t%.2fx\t%.2fx\t%.2f\t%.2f\t%v\t%s\n",
+			r.Name, r.SpeedupDuet, r.SpeedupFPSoC, r.ADPDuet, r.ADPFPSoC, r.CPURuntime, status)
+		w.Flush()
+	}
+	sd, sf, ad, af := apps.Geomeans(rows)
+	fmt.Printf("\nGeomean: Duet %.2fx, FPSoC %.2fx; ADP Duet %.2f, FPSoC %.2f\n", sd, sf, ad, af)
+	fmt.Println("Paper geomeans: Duet 4.53x, FPSoC 2.14x; ADP Duet 0.61, FPSoC 1.23.")
+}
+
+func ablations() {
+	header("Ablations: design choices behind the headline results")
+	fmt.Println("Proxy Cache in-flight window (eFPGA pull @100MHz; paper: the ceiling is set")
+	fmt.Println("by the proxy's concurrent request capacity):")
+	for _, w := range []int{1, 2, 4, 8} {
+		fmt.Printf("  %d outstanding: %6.0f MB/s\n", w, workload.MeasureHubWindow(w, 100))
+	}
+	fmt.Println("CDC synchronizer depth (normal-register write @100MHz; paper uses 2 stages):")
+	for _, st := range []int{2, 3, 4} {
+		fmt.Printf("  %d stages: %v\n", st, workload.MeasureSyncStagesLatency(st, 100))
+	}
+	fmt.Println("Speculative PDES scheduler (paper §III-B2 extension; 8 cores, lookahead 1):")
+	cfg := apps.PDESSpecConfig{Cores: 8, Population: 6, Horizon: 1200, MinDelay: 1, Seed: 31}
+	cons, _ := apps.RunPDESSpec(cfg)
+	cfg.Speculate = true
+	spec, sched := apps.RunPDESSpec(cfg)
+	if cons.Err != nil || spec.Err != nil {
+		fmt.Printf("  error: %v %v\n", cons.Err, spec.Err)
+		return
+	}
+	fmt.Printf("  conservative %v, speculative %v (%.2fx; %d speculative releases, %d squashes)\n",
+		cons.Runtime, spec.Runtime, float64(cons.Runtime)/float64(spec.Runtime), sched.SpecReleased, sched.Squashed)
+}

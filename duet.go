@@ -1,0 +1,25 @@
+// Package duet is a simulation-based reproduction of "Duet: Creating
+// Harmony between Processors and Embedded FPGAs" (Li, Ning, Wentzlaff —
+// HPCA 2023). It builds cycle-level models of Dolly instances: manycore
+// systems with OpenPiton-style directory coherence in which embedded FPGAs
+// are integrated as equal peers through Duet Adapters (Proxy Caches,
+// Memory Hubs, Control Hubs with Shadow Registers).
+//
+// A Dolly instance is described by a Config and built with New:
+//
+//	sys := duet.New(duet.Config{Cores: 1, MemHubs: 1, Style: duet.StyleDuet})
+//	sys.Fabric.Register(bitstream)
+//	sys.Cores[0].Run("host", func(p cpu.Proc) { ... })
+//	sys.Run()
+//
+// Three styles are supported: StyleDuet (the paper's architecture),
+// StyleFPSoC (the §V-D baseline: FPGA-side cache in the slow clock domain
+// and all shadow registers downgraded to normal), and StyleCPUOnly.
+//
+// The internal packages implement the substrates: a deterministic
+// discrete-event kernel (internal/sim), async FIFOs with 2-stage
+// synchronizers (internal/cdc), a 2D-mesh NoC (internal/noc), directory
+// MESI coherence (internal/coherence), in-order cores (internal/cpu), the
+// eFPGA fabric and synthesis cost model (internal/efpga), and the Duet
+// Adapter itself (internal/core).
+package duet

@@ -1,0 +1,36 @@
+// PDES: the paper's hardware augmentation example (§III-B2). An
+// eFPGA-emulated task scheduler replaces the MCS-locked software event
+// queue of a parallel discrete event simulation: processors stream events
+// through FPGA-bound FIFOs, and the scheduler conservatively releases
+// causally-safe events through per-core CPU-bound FIFOs.
+//
+// Run with: go run ./examples/pdes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"duet/internal/apps"
+)
+
+func main() {
+	fmt.Println("Parallel discrete event simulation (PHOLD), lookahead-window conservative")
+	fmt.Println("scheduling; baseline uses an MCS-locked in-memory event heap.")
+	fmt.Println()
+	fmt.Printf("%-8s %14s %14s %10s\n", "cores", "CPU-only", "Duet", "speedup")
+	for _, cores := range []int{4, 8, 16} {
+		cfg := apps.PDESConfig{Cores: cores, Population: 48, Horizon: 400, Seed: 11}
+		cpuRes := apps.RunPDES(apps.VariantCPU, cfg)
+		duetRes := apps.RunPDES(apps.VariantDuet, cfg)
+		if cpuRes.Err != nil || duetRes.Err != nil {
+			log.Fatalf("pdes/%d: %v %v", cores, cpuRes.Err, duetRes.Err)
+		}
+		fmt.Printf("%-8d %14v %14v %9.1fx\n", cores, cpuRes.Runtime, duetRes.Runtime,
+			float64(cpuRes.Runtime)/float64(duetRes.Runtime))
+	}
+	fmt.Println()
+	fmt.Println("The baseline's lock-arbitrated queue saturates as cores are added, while the")
+	fmt.Println("hardware scheduler keeps releasing safe events at fabric speed (event counts")
+	fmt.Println("verified against a sequential reference each run).")
+}

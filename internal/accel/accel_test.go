@@ -1,0 +1,94 @@
+package accel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPWLTanErrorBound verifies the paper's accuracy claim for the
+// tangent accelerator: maximum error 0.3% versus libm (§V-D), over the
+// benchmark's input domain.
+func TestPWLTanErrorBound(t *testing.T) {
+	f := func(raw uint16) bool {
+		x := (float64(raw)/65535.0)*2.8 - 1.4
+		got := PWLTan(x)
+		want := math.Tan(x)
+		rel := math.Abs(got-want) / math.Max(math.Abs(want), 1e-6)
+		return rel <= 0.003
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPWLTanPeriodicity: range reduction must make the approximation
+// periodic with period pi.
+func TestPWLTanPeriodicity(t *testing.T) {
+	for _, x := range []float64{0.3, -0.7, 1.1} {
+		a := PWLTan(x)
+		b := PWLTan(x + math.Pi)
+		if math.Abs(a-b) > 1e-9*math.Max(math.Abs(a), 1) {
+			t.Fatalf("PWLTan(%v)=%v but PWLTan(x+pi)=%v", x, a, b)
+		}
+	}
+}
+
+// TestBHForceProperties checks Newton's third law and the inverse-square
+// falloff of the shared force kernel.
+func TestBHForceProperties(t *testing.T) {
+	fx1, fy1, fz1 := BHForce(0, 0, 0, 10, 1, 2, 3, 20)
+	fx2, fy2, fz2 := BHForce(1, 2, 3, 20, 0, 0, 0, 10)
+	if fx1 != -fx2 || fy1 != -fy2 || fz1 != -fz2 {
+		t.Fatal("forces not equal and opposite")
+	}
+	// Doubling the distance quarters the magnitude (softening-negligible
+	// at these scales).
+	f1, _, _ := BHForce(0, 0, 0, 1e3, 1, 0, 0, 1e3)
+	f2, _, _ := BHForce(0, 0, 0, 1e3, 2, 0, 0, 1e3)
+	if ratio := f1 / f2; math.Abs(ratio-4) > 0.01 {
+		t.Fatalf("inverse-square violated: ratio %v", ratio)
+	}
+}
+
+// TestNetworkDepth checks the bitonic stage count for the paper's three
+// network widths.
+func TestNetworkDepth(t *testing.T) {
+	want := map[int]int64{32: 15, 64: 21, 128: 28}
+	for n, d := range want {
+		if got := networkDepth(n); got != d {
+			t.Fatalf("networkDepth(%d) = %d, want %d", n, got, d)
+		}
+	}
+}
+
+// TestPDESEventPacking round-trips event words.
+func TestPDESEventPacking(t *testing.T) {
+	f := func(ts uint32, payload uint32) bool {
+		ev := PDESEvent(uint64(ts), payload)
+		return PDESEventTS(ev) == uint64(ts) && uint32(ev) == payload
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Heap ordering is timestamp-major.
+	if !(PDESEvent(5, 0xffffffff) < PDESEvent(6, 0)) {
+		t.Fatal("event ordering not timestamp-major")
+	}
+}
+
+// TestBHPackRoundTrip round-trips work items.
+func TestBHPackRoundTrip(t *testing.T) {
+	w := BHPack(BHOpApprox, 3, 12345)
+	if int(w&0xf) != BHOpApprox || int(w>>4&0xfff) != 3 || uint32(w>>16) != 12345 {
+		t.Fatalf("pack/unpack mismatch: %#x", w)
+	}
+}
+
+// TestBFSPackRoundTrip round-trips widget commands.
+func TestBFSPackRoundTrip(t *testing.T) {
+	w := BFSPackCmd(BFSOpEnq, 7, 99999)
+	if int(w&0xf) != BFSOpEnq || int(w>>4&0xfff) != 7 || uint32(w>>16) != 99999 {
+		t.Fatalf("pack/unpack mismatch: %#x", w)
+	}
+}

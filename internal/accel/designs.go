@@ -1,0 +1,106 @@
+// Package accel implements the seven soft accelerators of the paper's
+// evaluation (§V-D): fine-grained accelerators (Tangent, Popcount, Sort,
+// Dijkstra, Barnes-Hut) and hardware-augmentation widgets (the PDES event
+// scheduler and the BFS lock-free queues).
+//
+// Each accelerator couples a behavioural model (a slow-clock-domain
+// simulation thread that computes real results through the adapter's
+// register and memory interfaces) with a structural Design whose synthesis
+// through the cost model in internal/efpga reproduces the paper's Table II
+// (Fmax, normalized area, CLB/BRAM utilization). The Designs are
+// calibrated against the published table because the paper's Yosys/VTR/
+// Catapult flow cannot run here; the Table II harness prints model and
+// paper values side by side.
+package accel
+
+import "duet/internal/efpga"
+
+// PaperTableII holds the published synthesis results (paper Table II).
+type PaperRow struct {
+	Name     string
+	FmaxMHz  float64
+	NormArea float64
+	CLBUtil  float64
+	BRAMUtil float64
+}
+
+// PaperTableII is Table II as published.
+var PaperTableII = []PaperRow{
+	{"Tangent", 282, 0.47, 0.84, 0},
+	{"Popcount", 189, 2.77, 0.83, 0.56},
+	{"Sort (32)", 228, 6.29, 0.30, 0.76},
+	{"Sort (64)", 234, 8.10, 0.27, 0.92},
+	{"Sort (128)", 228, 10.27, 0.27, 0.92},
+	{"Dijkstra", 127, 1.94, 0.96, 0.31},
+	{"Barnes-Hut", 85, 14.22, 0.99, 0.05},
+	{"BFS", 208, 1.24, 0.61, 0.75},
+	{"PDES", 126, 2.77, 0.47, 0.56},
+}
+
+// Designs maps accelerator names to their structural descriptions. The
+// keys match PaperTableII names.
+var Designs = map[string]efpga.Design{
+	"Tangent": {
+		Name: "Tangent", Adders: 4, Comparators: 4, LUTLogic: 150,
+		RegBits: 700, PipelineDepth: 5, MinRegions: 7,
+	},
+	"Popcount": {
+		Name: "Popcount", Adders: 20, LUTLogic: 1300,
+		RegBits: 3000, RAMKb: 680, PipelineDepth: 7, MemBound: true,
+		MinRegions: 38,
+	},
+	"Sort (32)": {
+		Name: "Sort (32)", Comparators: 32, Adders: 8, LUTLogic: 600,
+		RegBits: 4000, RAMKb: 2091, PipelineDepth: 5, MemBound: true,
+		MinRegions: 86,
+	},
+	"Sort (64)": {
+		Name: "Sort (64)", Comparators: 48, Adders: 8, LUTLogic: 460,
+		RegBits: 5000, RAMKb: 3238, PipelineDepth: 5, MemBound: true,
+		MinRegions: 110,
+	},
+	"Sort (128)": {
+		Name: "Sort (128)", Comparators: 64, Adders: 12, LUTLogic: 450,
+		RegBits: 6000, RAMKb: 4122, PipelineDepth: 5, MemBound: true,
+		MinRegions: 140,
+	},
+	"Dijkstra": {
+		Name: "Dijkstra", Adders: 12, Comparators: 10, LUTLogic: 990,
+		RegBits: 2500, RAMKb: 268, PipelineDepth: 15,
+	},
+	"Barnes-Hut": {
+		Name: "Barnes-Hut", FPUnits: 16, Adders: 30, LUTLogic: 900,
+		RegBits: 20000, RAMKb: 309, PipelineDepth: 24,
+	},
+	"BFS": {
+		Name: "BFS", Adders: 6, Comparators: 6, LUTLogic: 304,
+		RegBits: 1200, RAMKb: 408, PipelineDepth: 6, MemBound: true,
+		MinRegions: 17,
+	},
+	"PDES": {
+		Name: "PDES", Adders: 10, Comparators: 12, LUTLogic: 495,
+		RegBits: 2200, RAMKb: 681, PipelineDepth: 13, MemBound: true,
+		MinRegions: 38,
+	},
+}
+
+// Synthesize runs the cost model for a named design with the given
+// accelerator factory.
+func Synthesize(name string, factory func() efpga.Accelerator) *efpga.Bitstream {
+	d, ok := Designs[name]
+	if !ok {
+		panic("accel: unknown design " + name)
+	}
+	return efpga.Synthesize(d, factory)
+}
+
+// TableII runs the cost model for every design and returns the reports in
+// PaperTableII order.
+func TableII() []efpga.Report {
+	var out []efpga.Report
+	for _, row := range PaperTableII {
+		bs := Synthesize(row.Name, func() efpga.Accelerator { return nil })
+		out = append(out, bs.Report)
+	}
+	return out
+}

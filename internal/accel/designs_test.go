@@ -1,0 +1,48 @@
+package accel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableIICalibration checks that the synthesis cost model reproduces
+// the paper's Table II within tolerance: Fmax within 10%, normalized area
+// within 15%, utilizations within 0.12 absolute.
+func TestTableIICalibration(t *testing.T) {
+	reports := TableII()
+	for i, want := range PaperTableII {
+		got := reports[i]
+		relErr := func(g, w float64) float64 {
+			if w == 0 {
+				return math.Abs(g - w)
+			}
+			return math.Abs(g-w) / w
+		}
+		if e := relErr(got.FmaxMHz, want.FmaxMHz); e > 0.10 {
+			t.Errorf("%s: Fmax model=%.1f paper=%.1f (%.0f%% off)", want.Name, got.FmaxMHz, want.FmaxMHz, e*100)
+		}
+		if e := relErr(got.NormArea, want.NormArea); e > 0.15 {
+			t.Errorf("%s: NormArea model=%.2f paper=%.2f (%.0f%% off)", want.Name, got.NormArea, want.NormArea, e*100)
+		}
+		if math.Abs(got.CLBUtil-want.CLBUtil) > 0.12 {
+			t.Errorf("%s: CLB util model=%.2f paper=%.2f", want.Name, got.CLBUtil, want.CLBUtil)
+		}
+		if math.Abs(got.BRAMUtil-want.BRAMUtil) > 0.12 {
+			t.Errorf("%s: BRAM util model=%.2f paper=%.2f", want.Name, got.BRAMUtil, want.BRAMUtil)
+		}
+		t.Logf("%-12s model: Fmax=%5.1f norm=%5.2f CLB=%.2f BRAM=%.2f | paper: %5.1f %5.2f %.2f %.2f",
+			want.Name, got.FmaxMHz, got.NormArea, got.CLBUtil, got.BRAMUtil,
+			want.FmaxMHz, want.NormArea, want.CLBUtil, want.BRAMUtil)
+	}
+}
+
+// The soft accelerators run at 8-28% of the 1 GHz processor clock (§V-D).
+func TestAcceleratorClockRatioBand(t *testing.T) {
+	for _, r := range TableII() {
+		ratio := r.FmaxMHz / 1000
+		if ratio < 0.07 || ratio > 0.30 {
+			t.Errorf("%s: Fmax %.0fMHz = %.0f%% of CPU clock, outside the paper's 8-28%% band",
+				r.Name, r.FmaxMHz, ratio*100)
+		}
+	}
+}

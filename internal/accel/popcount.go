@@ -1,0 +1,66 @@
+package accel
+
+import (
+	"math/bits"
+
+	"duet/internal/coherence"
+	"duet/internal/efpga"
+	"duet/internal/sim"
+)
+
+// Popcount counts the ones in a 512-bit vector (paper §V-D, P1M1,
+// fine-grained): the accelerator loads the vector from coherent memory
+// through one Memory Hub and reduces it with an adder tree.
+//
+// Register layout: 0 = command FIFO (vector address), 1 = result FIFO.
+type Popcount struct{}
+
+// Popcount register indices.
+const (
+	PopCmdReg    = 0
+	PopResultReg = 1
+)
+
+// PopVectorBytes is the input vector size (512 bits).
+const PopVectorBytes = 64
+
+// popReduceCycles is the adder-tree latency in eFPGA cycles.
+const popReduceCycles = 2
+
+// Start spawns the popcount unit.
+func (Popcount) Start(env *efpga.Env) {
+	env.Eng.Go("popcount", func(t *sim.Thread) {
+		port := env.Mem[0]
+		for {
+			addr := env.Regs.PopFPGA(t, PopCmdReg)
+			// Load the four lines of the vector, pipelined.
+			var handles []uint64
+			for off := 0; off < PopVectorBytes; off += 16 {
+				handles = append(handles, port.LoadAsync(t, addr+uint64(off), 16))
+			}
+			count := 0
+			failed := false
+			for _, h := range handles {
+				b, err := port.Await(t, h)
+				if err != nil {
+					failed = true
+					continue
+				}
+				for i := 0; i+8 <= len(b); i += 8 {
+					count += bits.OnesCount64(coherence.Uint64At(b[i : i+8]))
+				}
+			}
+			t.SleepCycles(env.Clk, popReduceCycles)
+			if failed {
+				env.Regs.PushCPU(t, PopResultReg, ^uint64(0))
+				continue
+			}
+			env.Regs.PushCPU(t, PopResultReg, uint64(count))
+		}
+	})
+}
+
+// NewPopcountBitstream synthesizes the popcount accelerator.
+func NewPopcountBitstream() *efpga.Bitstream {
+	return Synthesize("Popcount", func() efpga.Accelerator { return Popcount{} })
+}

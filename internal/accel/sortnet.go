@@ -1,0 +1,117 @@
+package accel
+
+import (
+	"fmt"
+	"sort"
+
+	"duet/internal/coherence"
+	"duet/internal/efpga"
+	"duet/internal/sim"
+)
+
+// SortNet is a streaming sorting network for 32/64/128 four-byte integers
+// (paper §V-D, P1M2, fine-grained; generated with SPIRAL in the paper).
+// It reads the input array through Memory Hub 0 and writes the sorted
+// array through Memory Hub 1, so slices of a larger array can be sorted
+// back-to-back and merge-sorted by the processor.
+//
+// Register layout: 0 = source base (plain shadow), 1 = destination base
+// (plain shadow), 2 = command FIFO (element count, FPGA-bound), 3 = done
+// FIFO (CPU-bound).
+type SortNet struct {
+	// N is the network width in elements (32, 64 or 128).
+	N int
+}
+
+// SortNet register indices.
+const (
+	SortSrcReg  = 0
+	SortDstReg  = 1
+	SortCmdReg  = 2
+	SortDoneReg = 3
+)
+
+// networkDepth reports the compare-exchange stage count of a bitonic
+// sorting network of width n: log2(n)*(log2(n)+1)/2.
+func networkDepth(n int) int64 {
+	lg := 0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return int64(lg * (lg + 1) / 2)
+}
+
+// Start spawns the streaming sorter.
+func (s SortNet) Start(env *efpga.Env) {
+	env.Eng.Go(fmt.Sprintf("sort%d", s.N), func(t *sim.Thread) {
+		in := env.Mem[0]
+		out := env.Mem[1]
+		for {
+			n := int(env.Regs.PopFPGA(t, SortCmdReg))
+			if n > s.N {
+				n = s.N
+			}
+			src := env.Regs.ReadPlain(SortSrcReg)
+			dst := env.Regs.ReadPlain(SortDstReg)
+
+			// Stream in: one 16-byte line (4 elements) per request,
+			// pipelined through the hub window.
+			vals := make([]uint32, 0, n)
+			var handles []uint64
+			for off := 0; off < n*4; off += 16 {
+				handles = append(handles, in.LoadAsync(t, src+uint64(off), 16))
+			}
+			failed := false
+			for _, h := range handles {
+				b, err := in.Await(t, h)
+				if err != nil {
+					failed = true
+					continue
+				}
+				for i := 0; i+4 <= len(b) && len(vals) < n; i += 4 {
+					vals = append(vals, uint32(coherence.Uint64At(b[i:i+4])))
+				}
+			}
+			if failed {
+				env.Regs.PushCPU(t, SortDoneReg, ^uint64(0))
+				continue
+			}
+
+			// The network itself: elements traverse depth compare-exchange
+			// stages, fully pipelined (one line of elements per cycle).
+			t.SleepCycles(env.Clk, networkDepth(s.N)+int64(n/4))
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+			// Stream out: 8 bytes (two elements) per store — the hub
+			// store-width limit halves the output rate (paper §V-C).
+			handles = handles[:0]
+			for i := 0; i < n; i += 2 {
+				var buf [8]byte
+				v := uint64(vals[i])
+				if i+1 < n {
+					v |= uint64(vals[i+1]) << 32
+				}
+				for k := range buf {
+					buf[k] = byte(v >> (8 * k))
+				}
+				handles = append(handles, out.StoreAsync(t, dst+uint64(i*4), buf[:]))
+			}
+			for _, h := range handles {
+				if _, err := out.Await(t, h); err != nil {
+					failed = true
+				}
+			}
+			if failed {
+				env.Regs.PushCPU(t, SortDoneReg, ^uint64(0))
+				continue
+			}
+			env.Regs.PushCPU(t, SortDoneReg, uint64(n))
+		}
+	})
+}
+
+// NewSortBitstream synthesizes a sorting network of width n (32/64/128).
+func NewSortBitstream(n int) *efpga.Bitstream {
+	name := fmt.Sprintf("Sort (%d)", n)
+	return Synthesize(name, func() efpga.Accelerator { return SortNet{N: n} })
+}

@@ -1,0 +1,79 @@
+package accel
+
+import (
+	"math"
+
+	"duet/internal/efpga"
+	"duet/internal/sim"
+)
+
+// Tangent is the floating-point tangent accelerator (paper §V-D, P1M0,
+// fine-grained): a piece-wise linear approximation with a maximum error
+// of 0.3% versus libm, synthesized from HLS in the paper. Arguments
+// arrive through an FPGA-bound FIFO; results return through a CPU-bound
+// FIFO.
+//
+// Register layout: 0 = argument FIFO (FPGA-bound), 1 = result FIFO
+// (CPU-bound).
+type Tangent struct{}
+
+// Tangent register indices.
+const (
+	TanArgReg    = 0
+	TanResultReg = 1
+)
+
+// tanSegments is the PWL table resolution over one period.
+const tanSegments = 2048
+
+// tanPipelineCycles is the datapath latency in eFPGA cycles (range
+// reduction, table lookup, multiply-add).
+const tanPipelineCycles = 5
+
+// PWLTan evaluates the accelerator's piece-wise linear approximation —
+// shared with tests so functional checks compare against the exact same
+// function the hardware implements.
+func PWLTan(x float64) float64 {
+	// Range-reduce into (-pi/2, pi/2).
+	r := math.Mod(x+math.Pi/2, math.Pi)
+	if r < 0 {
+		r += math.Pi
+	}
+	r -= math.Pi / 2
+	// Clamp the asymptotic edges (the hardware saturates there).
+	const edge = math.Pi/2 - 0.012
+	if r > edge {
+		r = edge
+	}
+	if r < -edge {
+		r = -edge
+	}
+	// PWL interpolation between precomputed knots.
+	step := 2 * edge / tanSegments
+	k := math.Floor((r + edge) / step)
+	if k >= tanSegments {
+		k = tanSegments - 1
+	}
+	x0 := -edge + k*step
+	y0, y1 := math.Tan(x0), math.Tan(x0+step)
+	frac := (r - x0) / step
+	return y0 + (y1-y0)*frac
+}
+
+// Start spawns the tangent pipeline.
+func (Tangent) Start(env *efpga.Env) {
+	env.Eng.Go("tangent", func(t *sim.Thread) {
+		for {
+			bits := env.Regs.PopFPGA(t, TanArgReg)
+			x := math.Float64frombits(bits)
+			t.SleepCycles(env.Clk, tanPipelineCycles)
+			y := PWLTan(x)
+			env.Regs.PushCPU(t, TanResultReg, math.Float64bits(y))
+		}
+	})
+}
+
+// NewTangentBitstream synthesizes the tangent accelerator.
+func NewTangentBitstream() *efpga.Bitstream {
+	return Synthesize("Tangent", func() efpga.Accelerator { return Tangent{} })
+}

@@ -1,0 +1,81 @@
+package apps
+
+import "duet/internal/cpu"
+
+// MemHeap is a binary min-heap of uint64 keys living in simulated memory,
+// used by the processor-only baselines (Dijkstra's priority queue, the
+// PDES event queue). Every sift step issues real loads, stores and
+// compare cycles through the core, so queue costs emerge from the memory
+// system rather than being modelled analytically.
+//
+// Layout: [len (8B)][data... (8B each)].
+
+// HeapLen reads the heap's element count.
+func HeapLen(p cpu.Proc, base uint64) uint64 {
+	return p.Load64(base)
+}
+
+// HeapPush inserts v.
+func HeapPush(p cpu.Proc, base uint64, v uint64) {
+	n := p.Load64(base)
+	p.Store64(base+8+n*8, v)
+	i := n
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := p.Load64(base + 8 + parent*8)
+		p.Exec(2) // compare + branch
+		if pv <= v {
+			break
+		}
+		p.Store64(base+8+i*8, pv)
+		i = parent
+	}
+	p.Store64(base+8+i*8, v)
+	p.Store64(base, n+1)
+}
+
+// HeapPop removes and returns the minimum. The caller must ensure the
+// heap is non-empty.
+func HeapPop(p cpu.Proc, base uint64) uint64 {
+	n := p.Load64(base)
+	min := p.Load64(base + 8)
+	last := p.Load64(base + 8 + (n-1)*8)
+	n--
+	p.Store64(base, n)
+	if n == 0 {
+		return min
+	}
+	// Sift the last element down from the root.
+	i := uint64(0)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		sv := last
+		if l < n {
+			lv := p.Load64(base + 8 + l*8)
+			p.Exec(2)
+			if lv < sv {
+				small, sv = l, lv
+			}
+		}
+		if r < n {
+			rv := p.Load64(base + 8 + r*8)
+			p.Exec(2)
+			if rv < sv {
+				small, sv = r, rv
+			}
+		}
+		if small == i {
+			break
+		}
+		p.Store64(base+8+i*8, sv)
+		i = small
+	}
+	p.Store64(base+8+i*8, last)
+	return min
+}
+
+// HeapPeek reads the minimum without removing it.
+func HeapPeek(p cpu.Proc, base uint64) uint64 {
+	return p.Load64(base + 8)
+}

@@ -1,0 +1,60 @@
+package apps
+
+import "testing"
+
+// TestPDESSpecCorrectness verifies the speculative scheduler extension:
+// exact commit counts and bit-exact (order-sensitive) entity records under
+// rollback, for both policies across core counts.
+func TestPDESSpecCorrectness(t *testing.T) {
+	for _, spec := range []bool{false, true} {
+		for _, cores := range []int{2, 4, 8} {
+			cfg := PDESSpecConfig{Cores: cores, Population: 16, Horizon: 120, MinDelay: 1, Seed: 31, Speculate: spec}
+			res, sched := RunPDESSpec(cfg)
+			if res.Err != nil {
+				t.Fatalf("spec=%v cores=%d: %v", spec, cores, res.Err)
+			}
+			t.Logf("spec=%-5v cores=%d runtime=%v released=%d specRel=%d squashed=%d committed=%d",
+				spec, cores, res.Runtime, sched.Released, sched.SpecReleased, sched.Squashed, sched.Committed)
+			if !spec && sched.SpecReleased != 0 {
+				t.Fatal("conservative mode released speculatively")
+			}
+		}
+	}
+}
+
+// TestPDESSpecWins shows the extension's point: with a tight lookahead the
+// speculative scheduler outperforms the conservative one, and it actually
+// speculates (and survives squashes).
+func TestPDESSpecWins(t *testing.T) {
+	cfg := PDESSpecConfig{Cores: 8, Population: 6, Horizon: 1200, MinDelay: 1, Seed: 31}
+	cons, _ := RunPDESSpec(cfg)
+	cfg.Speculate = true
+	spec, sched := RunPDESSpec(cfg)
+	if cons.Err != nil || spec.Err != nil {
+		t.Fatalf("%v / %v", cons.Err, spec.Err)
+	}
+	t.Logf("conservative=%v speculative=%v (%.2fx), specReleased=%d squashed=%d",
+		cons.Runtime, spec.Runtime, float64(cons.Runtime)/float64(spec.Runtime), sched.SpecReleased, sched.Squashed)
+	if sched.SpecReleased == 0 {
+		t.Fatal("scheduler never speculated")
+	}
+	if spec.Runtime >= cons.Runtime {
+		t.Errorf("speculation did not pay: %v vs %v", spec.Runtime, cons.Runtime)
+	}
+}
+
+// TestPDESSpecForcedSquashes shrinks the entity space so speculative
+// events collide constantly; rollbacks must still converge to the exact
+// sequential result.
+func TestPDESSpecForcedSquashes(t *testing.T) {
+	cfg := PDESSpecConfig{Cores: 8, Population: 12, Horizon: 300, MinDelay: 1, Entities: 4, Seed: 77, Speculate: true}
+	res, sched := RunPDESSpec(cfg)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	t.Logf("forced squashes: specRel=%d squashed=%d committed=%d runtime=%v",
+		sched.SpecReleased, sched.Squashed, sched.Committed, res.Runtime)
+	if sched.Squashed == 0 {
+		t.Error("entity space of 4 produced no squashes (rollback path not exercised)")
+	}
+}

@@ -1,0 +1,154 @@
+// Package cache provides the set-associative tag/data array shared by
+// every cache model in the repository (private L2, L3 shards, Proxy Cache,
+// soft caches). It is purely structural: replacement, lookup and victim
+// selection, with no timing and no protocol.
+package cache
+
+import (
+	"fmt"
+
+	"duet/internal/mem"
+)
+
+// Way holds one cache line and its metadata. The State field is owned by
+// the protocol layer (coherence package); the array only distinguishes
+// valid from invalid.
+type Way struct {
+	Valid bool
+	Tag   uint64 // full line address (tag+index combined, for simplicity)
+	Data  mem.Line
+	State int // protocol-defined
+	Dirty bool
+	VPN   uint64 // virtual page number (Proxy Cache reverse mapping); 0 if unused
+	lru   uint64 // last-touch stamp
+}
+
+// Array is a set-associative array of cache lines indexed by physical line
+// address.
+type Array struct {
+	sets  int
+	ways  int
+	lines [][]Way
+	stamp uint64
+	// Hits/Misses count Lookup outcomes for statistics.
+	Hits, Misses uint64
+}
+
+// NewArray builds an array with the given total capacity in bytes and
+// associativity. Capacity must be a multiple of ways*LineBytes and the set
+// count must be a power of two.
+func NewArray(capacityBytes, ways int) *Array {
+	if capacityBytes <= 0 || ways <= 0 {
+		panic("cache: bad geometry")
+	}
+	linesTotal := capacityBytes / mem.LineBytes
+	sets := linesTotal / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a power of two", sets))
+	}
+	a := &Array{sets: sets, ways: ways}
+	a.lines = make([][]Way, sets)
+	for i := range a.lines {
+		a.lines[i] = make([]Way, ways)
+	}
+	return a
+}
+
+// Sets reports the number of sets.
+func (a *Array) Sets() int { return a.sets }
+
+// Ways reports the associativity.
+func (a *Array) Ways() int { return a.ways }
+
+func (a *Array) setOf(lineAddr uint64) []Way {
+	idx := (lineAddr / mem.LineBytes) % uint64(a.sets)
+	return a.lines[idx]
+}
+
+// Lookup finds the way holding lineAddr, touching LRU state on hit. It
+// returns nil on miss.
+func (a *Array) Lookup(lineAddr uint64) *Way {
+	set := a.setOf(lineAddr)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == lineAddr {
+			a.stamp++
+			set[i].lru = a.stamp
+			a.Hits++
+			return &set[i]
+		}
+	}
+	a.Misses++
+	return nil
+}
+
+// Peek finds the way holding lineAddr without touching LRU or counters.
+func (a *Array) Peek(lineAddr uint64) *Way {
+	set := a.setOf(lineAddr)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Set returns the ways of the set lineAddr maps to. Protocol layers use it
+// to pick victims subject to their own constraints (e.g. skipping lines
+// with in-flight transactions).
+func (a *Array) Set(lineAddr uint64) []Way {
+	return a.setOf(lineAddr)
+}
+
+// Victim returns the way to fill for lineAddr: an invalid way if one
+// exists, otherwise the least-recently-used way (which the caller must
+// evict first). The returned way is not modified.
+func (a *Array) Victim(lineAddr uint64) *Way {
+	set := a.setOf(lineAddr)
+	var lru *Way
+	for i := range set {
+		if !set[i].Valid {
+			return &set[i]
+		}
+		if lru == nil || set[i].lru < lru.lru {
+			lru = &set[i]
+		}
+	}
+	return lru
+}
+
+// Less reports whether w was touched less recently than o (i.e. is the
+// better LRU victim).
+func (w *Way) Less(o *Way) bool { return w.lru < o.lru }
+
+// Install fills a way with the given line, marking it valid and most
+// recently used, and returns it. The caller must have evicted any valid
+// victim beforehand (Install panics on a valid way with a different tag).
+func (a *Array) Install(w *Way, lineAddr uint64, data mem.Line, state int) *Way {
+	if w.Valid && w.Tag != lineAddr {
+		panic("cache: installing over a live line; evict first")
+	}
+	a.stamp++
+	*w = Way{Valid: true, Tag: lineAddr, Data: data, State: state, lru: a.stamp}
+	return w
+}
+
+// Invalidate clears the way.
+func (a *Array) Invalidate(w *Way) { *w = Way{} }
+
+// ForEach calls fn for every valid line.
+func (a *Array) ForEach(fn func(*Way)) {
+	for _, set := range a.lines {
+		for i := range set {
+			if set[i].Valid {
+				fn(&set[i])
+			}
+		}
+	}
+}
+
+// CountValid reports the number of valid lines.
+func (a *Array) CountValid() int {
+	n := 0
+	a.ForEach(func(*Way) { n++ })
+	return n
+}

@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"duet/internal/mem"
+)
+
+func TestLookupInstall(t *testing.T) {
+	a := NewArray(1024, 4) // 64 lines, 16 sets
+	if a.Lookup(0x100) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	var d mem.Line
+	d[0] = 0x55
+	w := a.Victim(0x100)
+	a.Install(w, 0x100, d, 2)
+	got := a.Lookup(0x100)
+	if got == nil || got.Data[0] != 0x55 || got.State != 2 {
+		t.Fatalf("lookup after install: %+v", got)
+	}
+	if a.Hits != 1 || a.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", a.Hits, a.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	a := NewArray(4*mem.LineBytes, 4) // one set, 4 ways
+	addr := func(i int) uint64 { return uint64(i) * mem.LineBytes * uint64(a.Sets()) }
+	for i := 0; i < 4; i++ {
+		w := a.Victim(addr(i))
+		a.Install(w, addr(i), mem.Line{}, 1)
+	}
+	// Touch 0 so that 1 becomes LRU.
+	a.Lookup(addr(0))
+	v := a.Victim(addr(9))
+	if !v.Valid || v.Tag != addr(1) {
+		t.Fatalf("victim = %+v, want tag %#x", v, addr(1))
+	}
+	// Install over a valid way must panic without prior invalidation.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("install over live line did not panic")
+		}
+	}()
+	a.Install(v, addr(9), mem.Line{}, 1)
+}
+
+func TestInvalidate(t *testing.T) {
+	a := NewArray(1024, 4)
+	w := a.Victim(0x40)
+	a.Install(w, 0x40, mem.Line{}, 1)
+	a.Invalidate(w)
+	if a.Lookup(0x40) != nil {
+		t.Fatal("hit after invalidate")
+	}
+	if a.CountValid() != 0 {
+		t.Fatal("valid count after invalidate")
+	}
+}
+
+func TestPeekDoesNotTouch(t *testing.T) {
+	a := NewArray(4*mem.LineBytes, 4)
+	addr := func(i int) uint64 { return uint64(i) * mem.LineBytes }
+	for i := 0; i < 4; i++ {
+		a.Install(a.Victim(addr(i)), addr(i), mem.Line{}, 1)
+	}
+	a.Peek(addr(0)) // must NOT refresh LRU
+	v := a.Victim(addr(9))
+	if v.Tag != addr(0) {
+		t.Fatalf("peek refreshed LRU; victim=%#x", v.Tag)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets did not panic")
+		}
+	}()
+	NewArray(3*mem.LineBytes, 1)
+}
+
+// Property: after installing a random set of distinct lines into a large
+// enough array, every one of them is found with its own data.
+func TestPropertyInstallAll(t *testing.T) {
+	f := func(seed uint8) bool {
+		a := NewArray(64*1024, 4)
+		n := int(seed)%64 + 1
+		for i := 0; i < n; i++ {
+			addr := uint64(i) * mem.LineBytes
+			var d mem.Line
+			d[0] = byte(i)
+			w := a.Victim(addr)
+			if w.Valid {
+				a.Invalidate(w)
+			}
+			a.Install(w, addr, d, 1)
+		}
+		for i := 0; i < n; i++ {
+			w := a.Peek(uint64(i) * mem.LineBytes)
+			if w == nil || w.Data[0] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

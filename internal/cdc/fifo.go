@@ -1,0 +1,201 @@
+// Package cdc models clock-domain-crossing hardware: asynchronous FIFOs
+// built from dual-clock RAMs with Gray-coded, multi-stage pointer
+// synchronizers, as used throughout Dolly (paper §IV).
+//
+// The latency contract reproduced here is the one that matters for the
+// paper's results: an entry written at a writer-clock edge t becomes
+// visible to the reader only once the write pointer has crossed the
+// synchronizer, i.e. at the SyncStages-th reader-clock edge strictly after
+// t. Symmetrically, space freed by a read becomes visible to the writer
+// SyncStages writer-clock edges after the read. Crossing into a slow
+// domain therefore costs ~2 slow cycles while crossing into a fast domain
+// costs ~2 fast cycles — the asymmetry behind Figs. 5, 6 and 9.
+package cdc
+
+import (
+	"duet/internal/sim"
+)
+
+// DefaultSyncStages is the synchronizer depth used across Dolly
+// ("Gray-coded, 2-stage synchronizers", paper §IV).
+const DefaultSyncStages = 2
+
+// DefaultDepth is the default FIFO capacity in entries.
+const DefaultDepth = 8
+
+type entry struct {
+	payload   interface{}
+	writtenAt sim.Time // writer edge the entry was committed
+	visibleAt sim.Time // first reader edge the entry can be popped
+	tx        *sim.TX
+}
+
+// Fifo is an asynchronous FIFO crossing from a writer clock domain to a
+// reader clock domain. All methods must be called from engine context (an
+// event callback or a parked-thread resumption).
+type Fifo struct {
+	Name       string
+	eng        *sim.Engine
+	wclk, rclk *sim.Clock
+	depth      int
+	syncStages int
+
+	queue []entry
+	// freeAt[i] holds times at which previously-consumed slots become
+	// visible to the writer again.
+	pendingFree []sim.Time
+
+	notEmpty *sim.Cond // signalled when an entry may have become poppable
+	notFull  *sim.Cond // signalled when space may have become available
+
+	// Pushed counts total entries ever pushed; Popped total ever popped.
+	Pushed, Popped uint64
+}
+
+// NewFifo creates an async FIFO with the given capacity (entries) and
+// synchronizer depth. depth <= 0 selects DefaultDepth; stages <= 0 selects
+// DefaultSyncStages.
+func NewFifo(eng *sim.Engine, name string, wclk, rclk *sim.Clock, depth, stages int) *Fifo {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	if stages <= 0 {
+		stages = DefaultSyncStages
+	}
+	return &Fifo{
+		Name:       name,
+		eng:        eng,
+		wclk:       wclk,
+		rclk:       rclk,
+		depth:      depth,
+		syncStages: stages,
+		notEmpty:   sim.NewCond(eng),
+		notFull:    sim.NewCond(eng),
+	}
+}
+
+// WriterClock reports the writer-side clock.
+func (f *Fifo) WriterClock() *sim.Clock { return f.wclk }
+
+// ReaderClock reports the reader-side clock.
+func (f *Fifo) ReaderClock() *sim.Clock { return f.rclk }
+
+// Depth reports the FIFO capacity.
+func (f *Fifo) Depth() int { return f.depth }
+
+// occupancySeenByWriter counts slots the writer believes are in use at time
+// now: everything in the queue plus consumed slots whose release has not yet
+// crossed the synchronizer back.
+func (f *Fifo) occupancySeenByWriter(now sim.Time) int {
+	n := len(f.queue)
+	for _, t := range f.pendingFree {
+		if t > now {
+			n++
+		}
+	}
+	return n
+}
+
+// CanPush reports whether a push would be accepted at time now.
+func (f *Fifo) CanPush(now sim.Time) bool {
+	return f.occupancySeenByWriter(now) < f.depth
+}
+
+// TryPush attempts to push payload at the next writer-clock edge at or
+// after now. It returns false if the FIFO appears full to the writer.
+// On success the entry is committed at the writer edge and its visibility
+// time in the reader domain is computed per the synchronizer model.
+func (f *Fifo) TryPush(payload interface{}, tx *sim.TX) bool {
+	now := f.eng.Now()
+	if !f.CanPush(now) {
+		return false
+	}
+	wedge := f.wclk.NextEdge(now)
+	visible := f.rclk.EdgesAfter(wedge, int64(f.syncStages))
+	f.queue = append(f.queue, entry{payload: payload, writtenAt: wedge, visibleAt: visible, tx: tx})
+	f.Pushed++
+	// Wake potential readers when the entry becomes visible.
+	f.eng.At(visible, f.notEmpty.Broadcast)
+	return true
+}
+
+// PushBlocking pushes payload, parking thread t while the FIFO is full.
+func (f *Fifo) PushBlocking(t *sim.Thread, payload interface{}, tx *sim.TX) {
+	for !f.TryPush(payload, tx) {
+		f.notFull.Wait(t)
+	}
+}
+
+// headVisible reports whether the head entry is poppable at now.
+func (f *Fifo) headVisible(now sim.Time) bool {
+	return len(f.queue) > 0 && f.queue[0].visibleAt <= now
+}
+
+// CanPop reports whether a pop would succeed at time now.
+func (f *Fifo) CanPop(now sim.Time) bool { return f.headVisible(now) }
+
+// Len reports the number of entries currently stored (visible or not).
+func (f *Fifo) Len() int { return len(f.queue) }
+
+// TryPop pops the head entry if it is visible at the current time. The
+// pop is committed at the next reader-clock edge at or after now (now is
+// already a reader edge in well-formed models). It returns the payload,
+// its transaction tag, and whether a pop occurred.
+func (f *Fifo) TryPop() (interface{}, *sim.TX, bool) {
+	now := f.eng.Now()
+	if !f.headVisible(now) {
+		return nil, nil, false
+	}
+	e := f.queue[0]
+	f.queue = f.queue[1:]
+	f.Popped++
+	redge := f.rclk.NextEdge(now)
+	// The slot is returned to the writer once the read pointer crosses the
+	// synchronizer into the writer domain.
+	freeAt := f.wclk.EdgesAfter(redge, int64(f.syncStages))
+	f.pendingFree = append(f.pendingFree, freeAt)
+	f.gcPendingFree(now)
+	f.eng.At(freeAt, f.notFull.Broadcast)
+	// Attribute the CDC crossing cost to the transaction: time from write
+	// commit to visibility.
+	e.tx.Add(sim.CatCDC, e.visibleAt-e.writtenAt)
+	return e.payload, e.tx, true
+}
+
+func (f *Fifo) gcPendingFree(now sim.Time) {
+	keep := f.pendingFree[:0]
+	for _, t := range f.pendingFree {
+		if t > now {
+			keep = append(keep, t)
+		}
+	}
+	f.pendingFree = keep
+}
+
+// PopBlocking pops the head entry, parking thread t until one is visible.
+func (f *Fifo) PopBlocking(t *sim.Thread) (interface{}, *sim.TX) {
+	for {
+		if v, tx, ok := f.TryPop(); ok {
+			return v, tx
+		}
+		f.notEmpty.Wait(t)
+	}
+}
+
+// PeekVisibleAt reports the time the head entry becomes visible to the
+// reader, or (0, false) when the FIFO is empty. Event-driven consumers use
+// this to schedule their service.
+func (f *Fifo) PeekVisibleAt() (sim.Time, bool) {
+	if len(f.queue) == 0 {
+		return 0, false
+	}
+	return f.queue[0].visibleAt, true
+}
+
+// NotEmpty exposes the condition signalled when an entry may have become
+// visible. Consumers that multiplex several FIFOs wait on it and re-poll.
+func (f *Fifo) NotEmpty() *sim.Cond { return f.notEmpty }
+
+// NotFull exposes the condition signalled when writer-visible space may
+// have become available.
+func (f *Fifo) NotFull() *sim.Cond { return f.notFull }

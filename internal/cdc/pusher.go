@@ -1,0 +1,50 @@
+package cdc
+
+import "duet/internal/sim"
+
+// Pusher serializes pushes into a Fifo, preserving order under
+// backpressure. A bare TryPush-with-retry can reorder entries (a retried
+// push can fall behind a later successful one); every producer that may
+// push while the FIFO is full must go through a Pusher.
+type Pusher struct {
+	eng  *sim.Engine
+	f    *Fifo
+	q    []queued
+	busy bool
+}
+
+type queued struct {
+	payload interface{}
+	tx      *sim.TX
+}
+
+// NewPusher returns an ordered pusher for f.
+func NewPusher(eng *sim.Engine, f *Fifo) *Pusher {
+	return &Pusher{eng: eng, f: f}
+}
+
+// Push enqueues payload; it is committed to the FIFO in Push-call order as
+// space becomes available.
+func (p *Pusher) Push(payload interface{}, tx *sim.TX) {
+	p.q = append(p.q, queued{payload, tx})
+	if !p.busy {
+		p.drain()
+	}
+}
+
+// Backlog reports entries accepted but not yet in the FIFO.
+func (p *Pusher) Backlog() int { return len(p.q) }
+
+func (p *Pusher) drain() {
+	for len(p.q) > 0 {
+		if !p.f.TryPush(p.q[0].payload, p.q[0].tx) {
+			// Full: retry at the next writer edge. The busy flag keeps
+			// later Push calls queued behind us.
+			p.busy = true
+			p.eng.At(p.f.WriterClock().EdgeAfter(p.eng.Now()), p.drain)
+			return
+		}
+		p.q = p.q[1:]
+	}
+	p.busy = false
+}

@@ -1,0 +1,589 @@
+package coherence
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"duet/internal/cache"
+	"duet/internal/mem"
+	"duet/internal/noc"
+	"duet/internal/sim"
+)
+
+// OutPort sends messages toward the NoC. The direct implementation injects
+// into the mesh; the slow-cache baseline substitutes a CDC-bridged port.
+type OutPort interface {
+	Send(*noc.Msg)
+}
+
+type meshPort struct{ mesh *noc.Mesh }
+
+func (p meshPort) Send(m *noc.Msg) { p.mesh.Send(m) }
+
+// PCacheConfig describes a private cache instance.
+type PCacheConfig struct {
+	Name string
+	ID   int // globally unique cache ID
+	Tile int // NoC tile the cache's traffic enters/leaves at
+
+	Clk *sim.Clock
+	Cat sim.Category // latency category of this cache's logic
+
+	SizeBytes int
+	Ways      int
+	MSHRs     int
+
+	HitCycles       int64 // front-side tag+data access
+	MissIssueCycles int64 // miss detection to request injection
+	FillCycles      int64 // response arrival to line install + completion
+	FwdCycles       int64 // forward (inv/downgrade) processing
+
+	// WriteNoAllocate selects the write-through/no-allocate store policy
+	// (Proxy Cache configuration option, paper §II-C).
+	WriteNoAllocate bool
+
+	// OnLineLost, if non-nil, is invoked whenever the cache loses a line
+	// (invalidation or eviction). The Proxy Cache uses it to push
+	// invalidations into the soft cache without waiting for any ack.
+	OnLineLost func(line, vpn uint64)
+}
+
+type opKind int
+
+const (
+	opLoad opKind = iota
+	opStore
+	opAmo
+)
+
+type frontOp struct {
+	kind     opKind
+	addr     uint64
+	size     int
+	data     []byte
+	vpn      uint64
+	amoOp    AmoOp
+	operand  uint64
+	operand2 uint64
+	tx       *sim.TX
+	done     func(result []byte)
+}
+
+type mshr struct {
+	line    uint64
+	op      *frontOp
+	pending []*frontOp
+}
+
+type wbEntry struct {
+	data        mem.Line
+	dirty       bool
+	vpn         uint64
+	surrendered bool
+	pending     []*frontOp
+}
+
+// PCache is a private MESI write-back cache: the model for the CPU L2, the
+// Duet Proxy Cache, and (re-clocked) the FPSoC/soft-only slow cache.
+type PCache struct {
+	cfg  PCacheConfig
+	eng  *sim.Engine
+	arr  *cache.Array
+	port OutPort
+
+	homeOf func(line uint64) int // line -> home tile
+
+	mshrs   map[uint64]*mshr
+	wb      map[uint64]*wbEntry
+	stalled []*frontOp
+
+	// Stats.
+	Loads, Stores, Amos     uint64
+	LoadMisses, StoreMisses uint64
+	FwdsSeen, Surrenders    uint64
+	Evictions               uint64
+	AbsentFwds              uint64
+}
+
+// NewPCache creates a private cache. homeOf maps a line address to its
+// home tile; port may be nil to send directly into the mesh.
+func NewPCache(eng *sim.Engine, mesh *noc.Mesh, cfg PCacheConfig, homeOf func(uint64) int, port OutPort) *PCache {
+	if port == nil {
+		port = meshPort{mesh}
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 1
+	}
+	return &PCache{
+		cfg:    cfg,
+		eng:    eng,
+		arr:    cache.NewArray(cfg.SizeBytes, cfg.Ways),
+		port:   port,
+		homeOf: homeOf,
+		mshrs:  make(map[uint64]*mshr),
+		wb:     make(map[uint64]*wbEntry),
+	}
+}
+
+// ID reports the cache's global ID.
+func (c *PCache) ID() int { return c.cfg.ID }
+
+// SetWriteNoAllocate reconfigures the store policy (Proxy Cache feature
+// switch, paper §II-C).
+func (c *PCache) SetWriteNoAllocate(v bool) { c.cfg.WriteNoAllocate = v }
+
+// WriteNoAllocate reports the current store policy.
+func (c *PCache) WriteNoAllocate() bool { return c.cfg.WriteNoAllocate }
+
+// Tile reports the cache's NoC tile.
+func (c *PCache) Tile() int { return c.cfg.Tile }
+
+// Name reports the cache's name.
+func (c *PCache) Name() string { return c.cfg.Name }
+
+// after runs fn n cache-clock cycles from now, attributing the delay to
+// the cache's latency category on tx.
+func (c *PCache) after(n int64, tx *sim.TX, fn func()) {
+	now := c.eng.Now()
+	at := c.cfg.Clk.EdgesAfter(now, n)
+	tx.Add(c.cfg.Cat, at-now)
+	c.eng.At(at, fn)
+}
+
+// LoadAsync reads size bytes at addr, calling done with the data when the
+// access completes. vpn tags the line for reverse mapping (0 if unused).
+func (c *PCache) LoadAsync(addr uint64, size int, vpn uint64, tx *sim.TX, done func([]byte)) {
+	c.Loads++
+	c.submit(&frontOp{kind: opLoad, addr: addr, size: size, vpn: vpn, tx: tx, done: done})
+}
+
+// StoreAsync writes data at addr, calling done when the store commits.
+func (c *PCache) StoreAsync(addr uint64, data []byte, vpn uint64, tx *sim.TX, done func()) {
+	c.Stores++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.submit(&frontOp{kind: opStore, addr: addr, size: len(data), data: cp, vpn: vpn, tx: tx,
+		done: func([]byte) { done() }})
+}
+
+// AmoAsync performs a home-side atomic, calling done with the old value.
+func (c *PCache) AmoAsync(op AmoOp, addr uint64, size int, operand, operand2 uint64, tx *sim.TX, done func(old uint64)) {
+	c.Amos++
+	c.submit(&frontOp{kind: opAmo, addr: addr, size: size, amoOp: op, operand: operand, operand2: operand2, tx: tx,
+		done: func(res []byte) {
+			var v uint64
+			for i := 0; i < len(res); i++ {
+				v |= uint64(res[i]) << (8 * i)
+			}
+			done(v)
+		}})
+}
+
+// Load is the blocking wrapper over LoadAsync for thread-style callers.
+func (c *PCache) Load(t *sim.Thread, addr uint64, size int, tx *sim.TX) []byte {
+	var out []byte
+	cond := sim.NewCond(c.eng)
+	c.LoadAsync(addr, size, 0, tx, func(d []byte) {
+		out = d
+		cond.Broadcast()
+	})
+	for out == nil {
+		cond.Wait(t)
+	}
+	return out
+}
+
+// Store is the blocking wrapper over StoreAsync.
+func (c *PCache) Store(t *sim.Thread, addr uint64, data []byte, tx *sim.TX) {
+	ok := false
+	cond := sim.NewCond(c.eng)
+	c.StoreAsync(addr, data, 0, tx, func() {
+		ok = true
+		cond.Broadcast()
+	})
+	for !ok {
+		cond.Wait(t)
+	}
+}
+
+// Amo is the blocking wrapper over AmoAsync.
+func (c *PCache) Amo(t *sim.Thread, op AmoOp, addr uint64, size int, operand, operand2 uint64, tx *sim.TX) uint64 {
+	var out uint64
+	ok := false
+	cond := sim.NewCond(c.eng)
+	c.AmoAsync(op, addr, size, operand, operand2, tx, func(v uint64) {
+		out, ok = v, true
+		cond.Broadcast()
+	})
+	for !ok {
+		cond.Wait(t)
+	}
+	return out
+}
+
+func (c *PCache) submit(op *frontOp) {
+	line := mem.LineAddr(op.addr)
+	if m := c.mshrs[line]; m != nil {
+		m.pending = append(m.pending, op)
+		return
+	}
+	if w := c.wb[line]; w != nil {
+		w.pending = append(w.pending, op)
+		return
+	}
+	c.after(c.cfg.HitCycles, op.tx, func() { c.lookup(op) })
+}
+
+func (c *PCache) lookup(op *frontOp) {
+	line := mem.LineAddr(op.addr)
+	// Re-check transient structures: they may have appeared while the tag
+	// access was in flight.
+	if m := c.mshrs[line]; m != nil {
+		m.pending = append(m.pending, op)
+		return
+	}
+	if w := c.wb[line]; w != nil {
+		w.pending = append(w.pending, op)
+		return
+	}
+	w := c.arr.Lookup(line)
+	off := mem.Offset(op.addr)
+	switch op.kind {
+	case opLoad:
+		if w != nil {
+			// Synonym rule (paper §II-D): the Proxy Cache stores the
+			// virtual page number beside each physical tag; a load through
+			// a different virtual address first invalidates the old VA in
+			// the soft cache, so synonym aliases never coexist there.
+			if op.vpn != 0 && w.VPN != 0 && w.VPN != op.vpn {
+				if c.cfg.OnLineLost != nil {
+					c.cfg.OnLineLost(line, w.VPN)
+				}
+				w.VPN = op.vpn
+			} else if op.vpn != 0 {
+				w.VPN = op.vpn
+			}
+			out := make([]byte, op.size)
+			copy(out, w.Data[off:off+op.size])
+			op.done(out)
+			return
+		}
+		c.LoadMisses++
+		c.miss(op, ReqLoad)
+	case opStore:
+		if w != nil && (w.State == StateM || w.State == StateE) {
+			copy(w.Data[off:off+op.size], op.data)
+			w.State = StateM
+			w.Dirty = true
+			if op.vpn != 0 {
+				w.VPN = op.vpn
+			}
+			op.done(nil)
+			return
+		}
+		if c.cfg.WriteNoAllocate {
+			// Write-through, no allocation (S copies are refreshed by the
+			// WTAck payload).
+			c.miss(op, ReqWT)
+			return
+		}
+		c.StoreMisses++
+		c.miss(op, ReqStore) // miss or S->M upgrade
+	case opAmo:
+		c.miss(op, ReqAmo)
+	default:
+		panic("pcache: unknown op")
+	}
+}
+
+// miss allocates an MSHR and sends the request to the home.
+func (c *PCache) miss(op *frontOp, rt ReqType) {
+	line := mem.LineAddr(op.addr)
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.stalled = append(c.stalled, op)
+		return
+	}
+	m := &mshr{line: line, op: op}
+	c.mshrs[line] = m
+	c.after(c.cfg.MissIssueCycles, op.tx, func() {
+		req := &ReqMsg{Type: rt, Line: line, CacheID: c.cfg.ID, Addr: op.addr, Size: op.size}
+		switch rt {
+		case ReqAmo:
+			req.Op = op.amoOp
+			req.Operand = op.operand
+			req.Operand2 = op.operand2
+		case ReqWT:
+			req.Bytes = op.data
+		}
+		c.send(req, op.tx)
+	})
+}
+
+func (c *PCache) send(req *ReqMsg, tx *sim.TX) {
+	c.port.Send(&noc.Msg{
+		Src:     c.cfg.Tile,
+		Dst:     c.homeOf(req.Line),
+		VN:      noc.VNReq,
+		Bytes:   ReqBytes(req),
+		Payload: req,
+		TX:      tx,
+	})
+}
+
+func (c *PCache) sendAck(ack *AckMsg, tx *sim.TX) {
+	c.port.Send(&noc.Msg{
+		Src:     c.cfg.Tile,
+		Dst:     c.homeOf(ack.Line),
+		VN:      noc.VNData,
+		Bytes:   AckBytes(ack),
+		Payload: ack,
+		TX:      tx,
+	})
+}
+
+// DeliverResp handles a home→cache response. Callers (tile dispatcher or
+// CDC bridge) invoke it at the time the message reaches the cache's clock
+// domain.
+func (c *PCache) DeliverResp(r *RespMsg, tx *sim.TX) {
+	switch r.Kind {
+	case RespData:
+		c.after(c.cfg.FillCycles, tx, func() { c.fill(r, tx) })
+	case RespAmo:
+		m := c.takeMSHR(r.Line)
+		c.after(1, tx, func() {
+			m.op.done(r.Old[:m.op.size])
+			c.drain(m)
+		})
+	case RespWTAck:
+		m := c.takeMSHR(r.Line)
+		c.after(1, tx, func() {
+			// Refresh a retained S copy with the home's updated line.
+			if w := c.arr.Peek(r.Line); w != nil && w.State == StateS {
+				w.Data = r.Data
+			}
+			m.op.done(nil)
+			c.drain(m)
+		})
+	case RespWBAck, RespWBStale:
+		e := c.wb[r.Line]
+		if e == nil {
+			panic(fmt.Sprintf("%s: WB response without WB entry %#x", c.cfg.Name, r.Line))
+		}
+		delete(c.wb, r.Line)
+		pend := e.pending
+		for _, op := range pend {
+			c.submit(op)
+		}
+		c.retryStalled()
+	default:
+		panic("pcache: unknown response kind")
+	}
+}
+
+func (c *PCache) takeMSHR(line uint64) *mshr {
+	m := c.mshrs[line]
+	if m == nil {
+		panic(fmt.Sprintf("%s: response without MSHR for %#x", c.cfg.Name, line))
+	}
+	delete(c.mshrs, line)
+	return m
+}
+
+// fill installs a granted line and completes the MSHR's operations.
+func (c *PCache) fill(r *RespMsg, tx *sim.TX) {
+	m := c.mshrs[r.Line]
+	if m == nil {
+		panic(fmt.Sprintf("%s: fill without MSHR for %#x", c.cfg.Name, r.Line))
+	}
+	var w *cache.Way
+	if existing := c.arr.Peek(r.Line); existing != nil {
+		// Upgrade (S->M): refresh data with the grant payload.
+		w = existing
+		w.Data = r.Data
+		w.State = r.Grant
+	} else {
+		w = c.pickVictim(r.Line)
+		if w == nil {
+			// Every way in the set is transient; retry shortly.
+			c.after(1, tx, func() { c.fill(r, tx) })
+			return
+		}
+		if w.Valid {
+			c.evict(w, tx)
+		}
+		w = c.arr.Install(w, r.Line, r.Data, r.Grant)
+	}
+	delete(c.mshrs, r.Line)
+	op := m.op
+	off := mem.Offset(op.addr)
+	switch op.kind {
+	case opLoad:
+		if op.vpn != 0 {
+			w.VPN = op.vpn
+		}
+		out := make([]byte, op.size)
+		copy(out, w.Data[off:off+op.size])
+		op.done(out)
+	case opStore:
+		copy(w.Data[off:off+op.size], op.data)
+		w.State = StateM
+		w.Dirty = true
+		if op.vpn != 0 {
+			w.VPN = op.vpn
+		}
+		op.done(nil)
+	default:
+		panic("pcache: fill for non-load/store")
+	}
+	c.drain(m)
+}
+
+// drain resubmits an emptied MSHR's pending ops and retries stalled ones.
+func (c *PCache) drain(m *mshr) {
+	for _, op := range m.pending {
+		c.submit(op)
+	}
+	c.retryStalled()
+}
+
+func (c *PCache) retryStalled() {
+	if len(c.stalled) == 0 {
+		return
+	}
+	ops := c.stalled
+	c.stalled = nil
+	for _, op := range ops {
+		c.submit(op)
+	}
+}
+
+// pickVictim chooses a way in line's set that is not mid-transaction; nil
+// if none is available.
+func (c *PCache) pickVictim(line uint64) *cache.Way {
+	set := c.arr.Set(line)
+	var best *cache.Way
+	for i := range set {
+		w := &set[i]
+		if !w.Valid {
+			return w
+		}
+		if c.mshrs[w.Tag] != nil || c.wb[w.Tag] != nil {
+			continue
+		}
+		if best == nil || w.Less(best) {
+			best = w
+		}
+	}
+	return best
+}
+
+// evict pushes a valid line into the WB buffer and sends the write-back
+// transaction.
+func (c *PCache) evict(w *cache.Way, tx *sim.TX) {
+	c.Evictions++
+	line := w.Tag
+	e := &wbEntry{data: w.Data, dirty: w.Dirty && w.State == StateM, vpn: w.VPN}
+	c.wb[line] = e
+	if c.cfg.OnLineLost != nil {
+		c.cfg.OnLineLost(line, w.VPN)
+	}
+	c.arr.Invalidate(w)
+	req := &ReqMsg{Type: ReqWB, Line: line, CacheID: c.cfg.ID, Data: e.data, Dirty: e.dirty}
+	c.send(req, nil)
+}
+
+// DeliverFwd handles a home→cache forward (invalidate or downgrade).
+func (c *PCache) DeliverFwd(f *FwdMsg, tx *sim.TX) {
+	c.FwdsSeen++
+	c.after(c.cfg.FwdCycles, tx, func() { c.handleFwd(f, tx) })
+}
+
+func (c *PCache) handleFwd(f *FwdMsg, tx *sim.TX) {
+	line := f.Line
+	if w := c.arr.Peek(line); w != nil {
+		ack := &AckMsg{Line: line, CacheID: c.cfg.ID, Present: true}
+		switch f.Type {
+		case FwdInv:
+			ack.Dirty = w.Dirty && w.State == StateM
+			ack.Data = w.Data
+			if c.cfg.OnLineLost != nil {
+				c.cfg.OnLineLost(line, w.VPN)
+			}
+			c.arr.Invalidate(w)
+		case FwdDowngrade:
+			ack.Dirty = w.Dirty && w.State == StateM
+			ack.Data = w.Data
+			w.State = StateS
+			w.Dirty = false
+		}
+		c.sendAck(ack, tx)
+		return
+	}
+	if e := c.wb[line]; e != nil && !e.surrendered {
+		// Forward racing our write-back: serve it from the WB buffer and
+		// let the home reject the WB as stale.
+		c.Surrenders++
+		e.surrendered = true
+		c.sendAck(&AckMsg{Line: line, CacheID: c.cfg.ID, Present: true, Dirty: e.dirty, FromWB: true, Data: e.data}, tx)
+		return
+	}
+	// Not present (already surrendered or protocol race window).
+	c.AbsentFwds++
+	c.sendAck(&AckMsg{Line: line, CacheID: c.cfg.ID, Present: false}, tx)
+}
+
+// State reports the MESI state of a line (StateI if absent); for tests and
+// the coherence checker.
+func (c *PCache) State(line uint64) int {
+	if w := c.arr.Peek(line); w != nil {
+		return w.State
+	}
+	return StateI
+}
+
+// PeekLine returns the cached data for a line, if present.
+func (c *PCache) PeekLine(line uint64) (mem.Line, bool) {
+	if w := c.arr.Peek(line); w != nil {
+		return w.Data, true
+	}
+	return mem.Line{}, false
+}
+
+// peekState returns data and MESI state for a line, if present.
+func (c *PCache) peekState(line uint64) (mem.Line, int, bool) {
+	if w := c.arr.Peek(line); w != nil {
+		return w.Data, w.State, true
+	}
+	return mem.Line{}, StateI, false
+}
+
+// Quiet reports whether the cache has no in-flight transactions.
+func (c *PCache) Quiet() bool {
+	return len(c.mshrs) == 0 && len(c.wb) == 0 && len(c.stalled) == 0
+}
+
+// FlushAll evicts every valid line (used by tests to force final state
+// back to the homes). Completion is signalled by Quiet turning true once
+// outstanding WBs drain.
+func (c *PCache) FlushAll() {
+	c.arr.ForEach(func(w *cache.Way) {
+		if c.mshrs[w.Tag] == nil && c.wb[w.Tag] == nil {
+			c.evict(w, nil)
+		}
+	})
+}
+
+// Uint64At is a helper to decode a little-endian value from load results.
+func Uint64At(b []byte) uint64 {
+	switch len(b) {
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 1:
+		return uint64(b[0])
+	}
+	panic("bad load size")
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"duet/internal/params"
+)
+
+// fpgaMgr is the FPGA Manager (paper §II-E): programming engine with
+// integrity checks, programmable clock generator, and status/exception
+// registers.
+type fpgaMgr struct {
+	a      *Adapter
+	status uint64
+	clkKHz uint64
+}
+
+func newFPGAMgr(a *Adapter) *fpgaMgr {
+	return &fpgaMgr{a: a, status: StatusIdle, clkKHz: uint64(a.fabric.Clock().FreqMHz() * 1000)}
+}
+
+func (m *fpgaMgr) access(op *inflight, off uint64, write bool, val uint64) {
+	a := m.a
+	switch off {
+	case RegCtrl:
+		if write {
+			if val&1 != 0 { // clear error
+				a.ClearError()
+				if m.status == StatusError {
+					m.status = StatusIdle
+				}
+			}
+			if val&2 != 0 { // reset accelerator: re-instantiate from the image
+				if bs := a.fabric.Current(); bs != nil {
+					if err := a.fabric.Configure(bs); err == nil {
+						a.startAccel()
+					}
+				}
+			}
+		}
+		a.afterFast(1, op.tx, func() { a.complete(op, 0, false) })
+	case RegClkKHz:
+		if write {
+			m.clkKHz = val
+			a.fabric.SetFreqMHz(float64(val) / 1000.0)
+		}
+		a.afterFast(1, op.tx, func() { a.complete(op, m.clkKHz, false) })
+	case RegProgram:
+		if !write {
+			a.complete(op, 0, true)
+			return
+		}
+		m.program(op, int(val))
+	case RegStatus:
+		a.afterFast(1, op.tx, func() { a.complete(op, m.status|a.errCode<<8, false) })
+	case RegTimeout:
+		if write {
+			a.timeoutCycles = int64(val)
+		}
+		a.afterFast(1, op.tx, func() { a.complete(op, uint64(a.timeoutCycles), false) })
+	default:
+		a.complete(op, 0, true)
+	}
+}
+
+// program runs the programming engine: it requires all Memory Hubs to be
+// deactivated (paper §II-B), streams the configuration image into the
+// configuration memory, verifies its integrity, and starts the
+// accelerator on success.
+func (m *fpgaMgr) program(op *inflight, bitstreamID int) {
+	a := m.a
+	for _, h := range a.hubs {
+		if h.enabled {
+			m.status = StatusError
+			a.RaiseExceptionCode(ErrProgram, false)
+			a.complete(op, 0, true)
+			return
+		}
+	}
+	bs, err := a.fabric.BitstreamByID(bitstreamID)
+	if err != nil {
+		m.status = StatusError
+		a.RaiseExceptionCode(ErrProgram, false)
+		a.complete(op, 0, true)
+		return
+	}
+	m.status = StatusProgramming
+	// The MMIO write completes immediately; programming proceeds in the
+	// background (software polls RegStatus).
+	a.afterFast(1, op.tx, func() { a.complete(op, 0, false) })
+
+	// Stream the image at one configuration word (16B) per fast cycle.
+	cycles := int64(len(bs.Image)+params.LineBytes-1) / params.LineBytes
+	a.eng.After(a.fastClk.Cycles(cycles), func() {
+		if err := a.fabric.Configure(bs); err != nil {
+			m.status = StatusError
+			a.RaiseExceptionCode(ErrProgram, false)
+			return
+		}
+		m.status = StatusReady
+		a.startAccel()
+	})
+}

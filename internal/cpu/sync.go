@@ -1,0 +1,103 @@
+package cpu
+
+// Software synchronization primitives used by the processor-only
+// baselines: MCS queue locks (paper §V-D, PDES baseline: "uses MCS locks
+// to arbitrate accesses to the shared event queue") and a sense-reversing
+// barrier (BFS baseline: "barrier-synchronized steps").
+//
+// They run on the Proc API, so every atomic and every spin iteration goes
+// through the simulated coherence protocol — lock handoff cost and
+// contention behaviour emerge from cache-to-cache transfers rather than
+// being modelled analytically.
+
+// MCS queue-lock memory layout:
+//
+//	lock:  [ tail (8B) ]
+//	qnode: [ next (8B) | locked (8B) ]
+//
+// Callers allocate one qnode per core.
+const (
+	mcsNextOff   = 0
+	mcsLockedOff = 8
+	// MCSNodeBytes is the size of one MCS queue node.
+	MCSNodeBytes = 16
+	// spinBackoff is the cycle cost charged per spin-loop iteration
+	// (branch + load issue), limiting event-rate while staying realistic.
+	spinBackoff = 4
+)
+
+// MCSAcquire acquires the MCS lock whose tail pointer lives at tailAddr,
+// enqueueing the caller's qnode at nodeAddr.
+func MCSAcquire(p Proc, tailAddr, nodeAddr uint64) {
+	p.Store64(nodeAddr+mcsNextOff, 0)
+	p.Store64(nodeAddr+mcsLockedOff, 1)
+	pred := p.AmoSwap64(tailAddr, nodeAddr)
+	if pred == 0 {
+		return // uncontended
+	}
+	p.Store64(pred+mcsNextOff, nodeAddr)
+	for p.Load64(nodeAddr+mcsLockedOff) != 0 {
+		p.Exec(spinBackoff)
+	}
+}
+
+// MCSRelease releases the MCS lock acquired with the same qnode.
+func MCSRelease(p Proc, tailAddr, nodeAddr uint64) {
+	next := p.Load64(nodeAddr + mcsNextOff)
+	if next == 0 {
+		// No known successor: try to swing the tail back to empty.
+		if p.Cas64(tailAddr, nodeAddr, 0) == nodeAddr {
+			return
+		}
+		// A successor is enqueueing; wait for its link.
+		for {
+			next = p.Load64(nodeAddr + mcsNextOff)
+			if next != 0 {
+				break
+			}
+			p.Exec(spinBackoff)
+		}
+	}
+	p.Store64(next+mcsLockedOff, 0)
+}
+
+// TASAcquire acquires a naive test-and-set spinlock: every attempt is a
+// home-side atomic, so contention hammers the lock's home line and
+// throughput collapses as cores multiply — the synchronization bottleneck
+// the paper's BFS baseline exhibits (§V-D).
+func TASAcquire(p Proc, addr uint64) {
+	for p.AmoSwap64(addr, 1) != 0 {
+		p.Exec(spinBackoff)
+	}
+}
+
+// TASRelease releases a test-and-set spinlock.
+func TASRelease(p Proc, addr uint64) {
+	p.Store64(addr, 0)
+}
+
+// Barrier memory layout: [ count (8B) | sense (8B) ].
+//
+// BarrierBytes is the size of a barrier control block.
+const BarrierBytes = 16
+
+// BarrierWait blocks until n participants have arrived at the barrier at
+// addr. localSense must alternate per participant per episode; callers
+// keep it in a register (Go local) and pass the new value each time:
+//
+//	sense := uint64(0)
+//	for step := ...; {
+//	    sense ^= 1
+//	    cpu.BarrierWait(p, barrier, nCores, sense)
+//	}
+func BarrierWait(p Proc, addr uint64, n int, localSense uint64) {
+	arrived := p.AmoAdd64(addr, 1) + 1
+	if arrived == uint64(n) {
+		p.Store64(addr, 0)            // reset count
+		p.Store64(addr+8, localSense) // flip global sense, releasing waiters
+		return
+	}
+	for p.Load64(addr+8) != localSense {
+		p.Exec(spinBackoff)
+	}
+}

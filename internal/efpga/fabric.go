@@ -1,0 +1,263 @@
+// Package efpga models the embedded FPGA fabrics of Duet (paper §IV): an
+// island-style fabric (in Dolly built with PRGA) with CLBs, block RAMs and
+// hard multipliers, a configuration memory loaded by the Control Hub's
+// programming engine, a software-programmable clock generator, and a
+// non-coherent scratchpad.
+//
+// The synthesis flow (Yosys + VTR + Catapult HLS in the paper) is replaced
+// by a deterministic cost model (see synth.go) calibrated against the
+// paper's Table II; DESIGN.md documents the substitution.
+package efpga
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"duet/internal/sim"
+)
+
+// Resources describes reconfigurable resource quantities: six-input LUTs,
+// flip-flops, block-RAM kilobits, and hard multiplier (DSP) blocks.
+type Resources struct {
+	LUTs   int
+	FFs    int
+	BRAMKb int
+	DSPs   int
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUTs + o.LUTs, r.FFs + o.FFs, r.BRAMKb + o.BRAMKb, r.DSPs + o.DSPs}
+}
+
+// Fits reports whether r fits within capacity c.
+func (r Resources) Fits(c Resources) bool {
+	return r.LUTs <= c.LUTs && r.FFs <= c.FFs && r.BRAMKb <= c.BRAMKb && r.DSPs <= c.DSPs
+}
+
+// Accelerator is an eFPGA-emulated soft accelerator: fine-grained
+// accelerators and hardware-augmentation widgets alike (paper §II-A). Its
+// Start method spawns the accelerator's behavioural threads against the
+// environment the adapter provides.
+type Accelerator interface {
+	Start(env *Env)
+}
+
+// Env is defined by the adapter (internal/core) and passed to accelerators
+// at configuration time; it is declared here as an interface to avoid a
+// dependency cycle.
+type Env struct {
+	Eng     *sim.Engine
+	Clk     *sim.Clock // the generated eFPGA clock
+	Scratch *Scratchpad
+	// Regs and Mem are adapter-owned facades; typed as interfaces to keep
+	// efpga free of adapter dependencies.
+	Regs RegIntf
+	Mem  []MemIntf
+}
+
+// RegIntf is the fabric-side soft-register interface (implemented by the
+// Control Hub's register file).
+type RegIntf interface {
+	// ReadPlain returns the fabric copy of plain shadow register i.
+	ReadPlain(i int) uint64
+	// WritePlain updates the fabric copy and synchronizes the shadow.
+	WritePlain(t *sim.Thread, i int, v uint64)
+	// PopFPGA pops the fabric side of FPGA-bound FIFO i (blocking).
+	PopFPGA(t *sim.Thread, i int) uint64
+	// TryPopFPGA pops without blocking.
+	TryPopFPGA(i int) (uint64, bool)
+	// PushCPU pushes into CPU-bound FIFO i (blocking on credits).
+	PushCPU(t *sim.Thread, i int, v uint64)
+	// PushToken pushes a token into token FIFO i (blocking on credits).
+	PushToken(t *sim.Thread, i int)
+	// Claim routes normal-register operations on register i to the
+	// accelerator (device-controller emulation, e.g. a barrier register).
+	Claim(i int)
+	// WaitOp blocks until a normal-register operation arrives on a
+	// claimed register.
+	WaitOp(t *sim.Thread, i int) *NormalOp
+	// Complete answers a claimed normal-register operation.
+	Complete(op *NormalOp, val uint64)
+}
+
+// NormalOp is a processor access to a claimed normal soft register,
+// delivered to the accelerator for explicit servicing.
+type NormalOp struct {
+	Reg   int
+	Write bool
+	Value uint64
+	Seq   uint64
+}
+
+// MemIntf is the fabric-side memory interface of one Memory Hub. All
+// addresses are virtual when the hub's TLB is enabled, physical otherwise.
+// Stores are limited to 8 bytes (paper §V-C). Errors report a deactivated
+// hub (exception containment) or a killed translation.
+type MemIntf interface {
+	Load(t *sim.Thread, va uint64, size int) ([]byte, error)
+	LoadLine(t *sim.Thread, va uint64) ([]byte, error)
+	Store(t *sim.Thread, va uint64, data []byte) error
+	Amo(t *sim.Thread, op int, va uint64, size int, operand, operand2 uint64) (uint64, error)
+
+	// Async pipelined interface (MSHR-limited): issue returns a handle;
+	// Await blocks until that handle completes.
+	LoadAsync(t *sim.Thread, va uint64, size int) uint64
+	StoreAsync(t *sim.Thread, va uint64, data []byte) uint64
+	Await(t *sim.Thread, handle uint64) ([]byte, error)
+	// SetInvSink registers the soft cache's invalidation listener; the
+	// hub delivers proxy-pushed invalidations in stream order.
+	SetInvSink(func(pa, vpn uint64))
+}
+
+// Bitstream is a synthesized accelerator configuration.
+type Bitstream struct {
+	Name    string
+	Res     Resources
+	FmaxMHz float64
+	Image   []byte
+	CRC     uint32
+	Factory func() Accelerator
+
+	// Report carries the synthesis cost model's output (Table II).
+	Report Report
+}
+
+// Checksum computes the CRC of the image; a Bitstream is intact when
+// Checksum() == CRC.
+func (b *Bitstream) Checksum() uint32 { return crc32.ChecksumIEEE(b.Image) }
+
+// Corrupt flips a byte of the image (fault-injection helper).
+func (b *Bitstream) Corrupt() {
+	if len(b.Image) > 0 {
+		b.Image[len(b.Image)/2] ^= 0xff
+	}
+}
+
+// Fabric is one embedded FPGA: capacity, configuration state and the
+// generated clock.
+type Fabric struct {
+	Name string
+	Cap  Resources
+
+	eng *sim.Engine
+	clk *sim.Clock // generated eFPGA clock (mutable frequency)
+
+	bitstreams []*Bitstream
+	current    *Bitstream
+	accel      Accelerator
+	Scratch    *Scratchpad
+
+	// Generation counts successful configurations.
+	Generation int
+}
+
+// NewFabric creates a fabric with the given capacity. The clock starts at
+// 100 MHz until reprogrammed.
+func NewFabric(eng *sim.Engine, name string, capacity Resources) *Fabric {
+	return &Fabric{
+		Name:    name,
+		Cap:     capacity,
+		eng:     eng,
+		clk:     sim.ClockMHz(name+".clk", 100),
+		Scratch: NewScratchpad(64 * 1024),
+	}
+}
+
+// Clock returns the fabric's generated clock. Its frequency may change on
+// SetFreqMHz; components must re-derive edges from it each time.
+func (f *Fabric) Clock() *sim.Clock { return f.clk }
+
+// SetFreqMHz reprograms the clock generator. The new period takes effect
+// at the current instant (edges re-align from now), modelling the
+// programmable divider/PLL of the FPGA manager (paper §II-E).
+func (f *Fabric) SetFreqMHz(mhz float64) {
+	if mhz <= 0 {
+		panic("efpga: bad frequency")
+	}
+	f.clk.Period = sim.Time(1e6/mhz + 0.5)
+	f.clk.Phase = f.eng.Now()
+}
+
+// Register adds a bitstream to the system image library and returns its
+// id (used by the programming engine's MMIO interface).
+func (f *Fabric) Register(b *Bitstream) int {
+	f.bitstreams = append(f.bitstreams, b)
+	return len(f.bitstreams) - 1
+}
+
+// BitstreamByID returns a registered bitstream.
+func (f *Fabric) BitstreamByID(id int) (*Bitstream, error) {
+	if id < 0 || id >= len(f.bitstreams) {
+		return nil, fmt.Errorf("efpga: unknown bitstream id %d", id)
+	}
+	return f.bitstreams[id], nil
+}
+
+// Configure validates and installs a bitstream: CRC integrity check, then
+// resource capacity check. On success the accelerator instance is created
+// (but not started; the adapter starts it with a fresh Env).
+func (f *Fabric) Configure(b *Bitstream) error {
+	if b.Checksum() != b.CRC {
+		return fmt.Errorf("efpga: bitstream %q integrity check failed", b.Name)
+	}
+	if !b.Res.Fits(f.Cap) {
+		return fmt.Errorf("efpga: bitstream %q needs %+v, capacity %+v", b.Name, b.Res, f.Cap)
+	}
+	f.current = b
+	f.accel = b.Factory()
+	if b.FmaxMHz > 0 && f.clk.FreqMHz() > b.FmaxMHz {
+		f.SetFreqMHz(b.FmaxMHz)
+	}
+	f.Generation++
+	return nil
+}
+
+// Current reports the installed bitstream (nil if unprogrammed).
+func (f *Fabric) Current() *Bitstream { return f.current }
+
+// Accel reports the instantiated accelerator (nil if unprogrammed).
+func (f *Fabric) Accel() Accelerator { return f.accel }
+
+// Scratchpad is the eFPGA's non-coherent local memory (paper Fig. 3):
+// BRAM-backed storage private to the accelerator, accessed in the slow
+// clock domain with a fixed cycle cost charged by the caller.
+type Scratchpad struct {
+	data []byte
+}
+
+// NewScratchpad allocates a scratchpad of the given size.
+func NewScratchpad(size int) *Scratchpad {
+	return &Scratchpad{data: make([]byte, size)}
+}
+
+// Size reports the scratchpad capacity in bytes.
+func (s *Scratchpad) Size() int { return len(s.data) }
+
+// Read64 loads a uint64 at offset off.
+func (s *Scratchpad) Read64(off int) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(s.data[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores a uint64 at offset off.
+func (s *Scratchpad) Write64(off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		s.data[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// Read copies n bytes at off.
+func (s *Scratchpad) Read(off, n int) []byte {
+	out := make([]byte, n)
+	copy(out, s.data[off:off+n])
+	return out
+}
+
+// Write copies data to off.
+func (s *Scratchpad) Write(off int, data []byte) {
+	copy(s.data[off:], data)
+}

@@ -1,0 +1,35 @@
+// Package mmio defines the memory-mapped I/O messages exchanged between
+// processor cores and on-chip devices (the Duet Control Hubs, TLB windows,
+// and feature-switch registers) over the NoC's MMIO virtual networks.
+//
+// Cores issue at most one outstanding MMIO operation and block until the
+// response arrives — the strict I/O ordering model whose cost the Shadow
+// Registers attack (paper §II-F).
+package mmio
+
+// Req is a core→device MMIO request.
+type Req struct {
+	Addr    uint64
+	Write   bool
+	Size    int // 4 or 8
+	Data    uint64
+	SrcTile int
+	SeqID   uint64
+}
+
+// Resp is a device→core MMIO response.
+type Resp struct {
+	SeqID uint64
+	Data  uint64
+	Err   bool // device deactivated / bad address: bogus data returned
+}
+
+// Payload sizes for NoC serialization.
+const (
+	ReqBytes  = 16
+	RespBytes = 12
+)
+
+// Router maps an MMIO address to the NoC tile of the owning device. The
+// boolean reports whether any device claims the address.
+type Router func(addr uint64) (tile int, ok bool)

@@ -1,0 +1,219 @@
+// Package noc models the network-on-chip: a 2D mesh with XY dimension-order
+// routing, 16-byte links, per-link serialization, and point-to-point ordered
+// delivery per (source, destination, virtual network) — the ordering
+// guarantee Dolly inherits from OpenPiton P-Mesh and that the Proxy Cache
+// protocol relies on (paper §II-C).
+//
+// Three virtual networks carry the coherence protocol in the P-Mesh style
+// (VN1 cache→home requests, VN2 home→cache grants and forwards, VN3
+// cache→home data returns and acks); two more carry memory-mapped I/O.
+// Sharing grants and forwards on VN2 is what makes home→cache traffic
+// ordered, which the private-cache protocol requires.
+package noc
+
+import (
+	"fmt"
+
+	"duet/internal/params"
+	"duet/internal/sim"
+)
+
+// VN identifies a virtual network.
+type VN int
+
+// Virtual networks.
+const (
+	VNReq      VN = iota // cache -> home: coherence requests
+	VNFwd                // home -> cache: grants, forwards, acks
+	VNData               // cache -> home: data returns, inv acks
+	VNMMIOReq            // core -> device: MMIO requests
+	VNMMIOResp           // device -> core: MMIO responses
+	NumVNs
+)
+
+func (v VN) String() string {
+	switch v {
+	case VNReq:
+		return "VN1.req"
+	case VNFwd:
+		return "VN2.fwd"
+	case VNData:
+		return "VN3.data"
+	case VNMMIOReq:
+		return "VN4.mmio-req"
+	case VNMMIOResp:
+		return "VN5.mmio-resp"
+	}
+	return "VN?"
+}
+
+// Msg is one network message. Bytes is the payload size used for link
+// serialization (a header flit is always added).
+type Msg struct {
+	Src, Dst int
+	VN       VN
+	Bytes    int
+	Payload  interface{}
+	TX       *sim.TX
+}
+
+// Handler consumes delivered messages. Handlers run in engine context at
+// the delivery time.
+type Handler func(*Msg)
+
+type linkKey struct {
+	from, to int
+	vn       VN
+}
+
+// Mesh is the 2D-mesh network fabric.
+type Mesh struct {
+	eng  *sim.Engine
+	clk  *sim.Clock
+	W, H int
+
+	handlers map[int][NumVNs]Handler
+	linkFree map[linkKey]sim.Time
+
+	// Stats
+	Messages  uint64
+	BytesSent uint64
+	perVN     [NumVNs]uint64
+}
+
+// NewMesh builds a W x H mesh clocked by clk (the fast clock).
+func NewMesh(eng *sim.Engine, clk *sim.Clock, w, h int) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic("noc: bad mesh dimensions")
+	}
+	return &Mesh{
+		eng:      eng,
+		clk:      clk,
+		W:        w,
+		H:        h,
+		handlers: make(map[int][NumVNs]Handler),
+		linkFree: make(map[linkKey]sim.Time),
+	}
+}
+
+// Tiles reports the number of tiles.
+func (m *Mesh) Tiles() int { return m.W * m.H }
+
+// Clock reports the mesh clock.
+func (m *Mesh) Clock() *sim.Clock { return m.clk }
+
+// XY reports the coordinates of tile id.
+func (m *Mesh) XY(id int) (x, y int) { return id % m.W, id / m.W }
+
+// TileAt reports the tile id at coordinates (x, y).
+func (m *Mesh) TileAt(x, y int) int { return y*m.W + x }
+
+// Register installs h as the consumer for vn traffic delivered to tile.
+// Registering twice replaces the previous handler.
+func (m *Mesh) Register(tile int, vn VN, h Handler) {
+	if tile < 0 || tile >= m.Tiles() {
+		panic(fmt.Sprintf("noc: register on bad tile %d", tile))
+	}
+	hs := m.handlers[tile]
+	hs[vn] = h
+	m.handlers[tile] = hs
+}
+
+// route returns the sequence of tile ids visited from src to dst under XY
+// routing, excluding src, including dst.
+func (m *Mesh) route(src, dst int) []int {
+	var path []int
+	x, y := m.XY(src)
+	dx, dy := m.XY(dst)
+	for x != dx {
+		if x < dx {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, m.TileAt(x, y))
+	}
+	for y != dy {
+		if y < dy {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, m.TileAt(x, y))
+	}
+	return path
+}
+
+// Hops reports the hop count between two tiles.
+func (m *Mesh) Hops(src, dst int) int {
+	x, y := m.XY(src)
+	dx, dy := m.XY(dst)
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(x-dx) + abs(y-dy)
+}
+
+// flits reports the number of link flits for a payload of n bytes
+// (one header flit plus payload flits).
+func flits(n int) int64 {
+	f := int64(1)
+	f += int64((n + params.FlitBytes - 1) / params.FlitBytes)
+	return f
+}
+
+// Send injects msg at the current time. Delivery is scheduled at the
+// arrival time computed from the route, per-link serialization, and flit
+// count. Messages between the same (src, dst, vn) never reorder.
+func (m *Mesh) Send(msg *Msg) {
+	if msg.Src < 0 || msg.Src >= m.Tiles() || msg.Dst < 0 || msg.Dst >= m.Tiles() {
+		panic(fmt.Sprintf("noc: send %d->%d outside %dx%d mesh", msg.Src, msg.Dst, m.W, m.H))
+	}
+	m.Messages++
+	m.BytesSent += uint64(msg.Bytes)
+	m.perVN[msg.VN]++
+
+	start := m.clk.NextEdge(m.eng.Now())
+	t := start
+	nf := flits(msg.Bytes)
+	cur := msg.Src
+	for _, next := range m.route(msg.Src, msg.Dst) {
+		// Router pipeline at the current node.
+		t += m.clk.Cycles(params.RouterCycles)
+		// Acquire the outgoing link; serialize behind earlier traffic.
+		lk := linkKey{from: cur, to: next, vn: msg.VN}
+		dep := t
+		if free, ok := m.linkFree[lk]; ok && free > dep {
+			dep = free
+		}
+		m.linkFree[lk] = dep + m.clk.Cycles(nf*params.LinkCycles)
+		// Head flit reaches the next node after one link traversal.
+		t = dep + m.clk.Cycles(params.LinkCycles)
+		cur = next
+	}
+	if msg.Src == msg.Dst {
+		// Local delivery still pays router + ejection.
+		t += m.clk.Cycles(params.RouterCycles)
+	} else {
+		// The message is usable only once its tail flit arrives.
+		t += m.clk.Cycles((nf - 1) * params.LinkCycles)
+	}
+	t += m.clk.Cycles(params.EjectCycles)
+
+	msg.TX.Add(sim.CatNoC, t-start)
+	m.eng.At(t, func() { m.deliver(msg) })
+}
+
+func (m *Mesh) deliver(msg *Msg) {
+	hs, ok := m.handlers[msg.Dst]
+	if !ok || hs[msg.VN] == nil {
+		panic(fmt.Sprintf("noc: no handler for %v at tile %d (msg from %d)", msg.VN, msg.Dst, msg.Src))
+	}
+	hs[msg.VN](msg)
+}
+
+// VNCount reports how many messages were sent on vn.
+func (m *Mesh) VNCount(vn VN) uint64 { return m.perVN[vn] }

@@ -1,0 +1,114 @@
+// Package params centralizes the timing and geometry constants of the
+// simulated Dolly platform (paper §IV-V). Values are chosen to match the
+// published configuration where the paper states it (clock frequencies,
+// cache sizes, line size, synchronizer depth) and calibrated to land the
+// paper's measured communication latencies where it does not (per-stage
+// pipeline costs).
+package params
+
+import "duet/internal/sim"
+
+// Clock configuration (paper §V-A: cores and cache system at 1 GHz).
+const (
+	// CPUClockPS is the fast (processor/NoC/cache) clock period.
+	CPUClockPS sim.Time = 1000 // 1 GHz
+)
+
+// Cache geometry (paper §IV).
+const (
+	LineBytes = 16 // P-Mesh cacheline size; also NoC flit payload width
+
+	L1DBytes = 8 * 1024
+	L1DWays  = 4
+
+	L2Bytes = 8 * 1024
+	L2Ways  = 4
+
+	L3ShardBytes = 64 * 1024
+	L3Ways       = 4
+
+	// L2MSHRs bounds in-flight misses per private cache; it also caps the
+	// Proxy Cache's concurrent memory requests (paper §V-C: the bandwidth
+	// upper bound is set by the NoC and "the number of concurrent,
+	// in-flight memory requests supported by the Proxy Cache").
+	L2MSHRs = 4
+)
+
+// Core timing (Ariane: 6-stage, single-issue, in-order).
+const (
+	L1HitCycles   = 1
+	L2HitCycles   = 4 // L1 miss, L2 tag+data, return
+	L2MissIssue   = 2 // L2 lookup + request formation
+	L2FillCycles  = 2 // fill + forward to core
+	StoreL2Cycles = 4 // write-through L1 -> L2 store commit (hit)
+)
+
+// Home / L3 shard timing.
+const (
+	DirLookupCycles = 3
+	L3DataCycles    = 2
+	HomeRespCycles  = 1
+	DRAMLatency     = 90 * sim.NS
+)
+
+// NoC timing (2D mesh, XY routing, 16-byte links).
+const (
+	RouterCycles = 2 // per-hop router pipeline
+	LinkCycles   = 1 // per-hop wire traversal
+	EjectCycles  = 1 // network interface ejection
+	FlitBytes    = LineBytes
+)
+
+// Clock-domain crossing (paper §IV: dual-clock RAMs with Gray-coded,
+// 2-stage synchronizers).
+const (
+	SyncStages = 2
+	FifoDepth  = 8
+)
+
+// Duet Adapter timing (fast domain).
+const (
+	HubIngressCycles = 1 // eFPGA request pickup -> proxy cache front-end
+	HubEgressCycles  = 1 // proxy response -> FPGA-bound FIFO push
+	ProxyFwdCycles   = 3 // fwd/inv handling inside the proxy cache
+	CtrlHubDecode    = 1 // MMIO decode at the control hub
+	ShadowRegCycles  = 2 // shadow register access (fast domain)
+	TLBLookupCycles  = 1
+)
+
+// Slow-domain (eFPGA-emulated) logic costs, in slow-clock cycles. The
+// paper argues platform-protocol soft caches need "sophisticated control
+// logic ... higher access latency" (§II-C); the slow-cache baseline pays
+// these per-message protocol processing costs in the slow domain.
+const (
+	SoftRegCycles        = 4 // soft register read/write handling in the fabric
+	SoftCacheHitCycles   = 2 // soft cache tag+data access
+	SlowCacheTagCycles   = 2 // slow-cache (baseline) front-side tag+data
+	SlowCacheProtoCycles = 3 // slow-cache miss/fill processing
+	SlowCacheFwdCycles   = 8 // slow-cache coherence forward (inv/downgrade) handling
+)
+
+// Memory hub / accelerator interface.
+const (
+	// HubOutstanding caps concurrent eFPGA memory requests in flight at
+	// the Proxy Cache (paper §V-C: peak bandwidth is set by the NoC and
+	// the proxy's in-flight request capacity; the P-Mesh-derived proxy
+	// sustains two outstanding misses).
+	HubOutstanding = 2
+
+	// HubStoreBytes is the maximum store payload per eFPGA request: the
+	// Dolly L2 "only supports stores up to 8 Bytes, so the eFPGA must send
+	// two requests to store one cacheline" (paper §V-C).
+	HubStoreBytes = 8
+
+	// DefaultTimeoutCycles is the exception handler's default watchdog
+	// limit (fast cycles) for eFPGA responses.
+	DefaultTimeoutCycles = 200000
+)
+
+// MMIO.
+const (
+	// MMIOBase marks the start of the memory-mapped I/O region; physical
+	// addresses at or above it are routed to devices, not memory.
+	MMIOBase uint64 = 0xF000_0000_0000
+)

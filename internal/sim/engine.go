@@ -1,0 +1,172 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used by every hardware model in this repository.
+//
+// Time is measured in integer picoseconds (Time). Components schedule
+// callbacks on an Engine; clocked components derive edge times from Clock.
+// Sequential "programs" (processor software, behavioural accelerator models)
+// run as Threads: goroutines that are resumed one at a time by the engine,
+// which keeps the simulation fully deterministic while letting benchmark
+// code be written as ordinary straight-line Go.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in picoseconds.
+type Time int64
+
+// Convenient time units.
+const (
+	PS Time = 1
+	NS Time = 1000
+	US Time = 1000 * 1000
+	MS Time = 1000 * 1000 * 1000
+)
+
+// Forever is a time later than any realistic simulation instant.
+const Forever Time = 1 << 62
+
+func (t Time) String() string {
+	switch {
+	case t >= MS:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(MS))
+	case t >= US:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(US))
+	case t >= NS:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(NS))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Nanoseconds reports t as a float64 nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(NS) }
+
+// Seconds reports t as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / 1e12 }
+
+type event struct {
+	at  Time
+	pri int32
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+
+	// threads tracks live Threads so Run can detect a deadlock in which
+	// every thread is parked but no events remain.
+	liveThreads int
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug.
+func (e *Engine) At(t Time, fn func()) {
+	e.at(t, 0, fn)
+}
+
+// AtPri schedules fn at time t with an explicit priority. Lower priorities
+// run first among events at the same instant; same-priority events run in
+// scheduling order.
+func (e *Engine) AtPri(t Time, pri int32, fn func()) {
+	e.at(t, pri, fn)
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	e.at(e.now+d, 0, fn)
+}
+
+func (e *Engine) at(t Time, pri int32, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, pri: pri, seq: e.seq, fn: fn})
+}
+
+// Stop makes the current Run call return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or the event
+// budget maxEvents is exhausted (0 means no budget). It returns the number
+// of events executed.
+func (e *Engine) Run(maxEvents int) int {
+	e.stopped = false
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("sim: event time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. It returns the number executed.
+func (e *Engine) RunUntil(deadline Time) int {
+	e.stopped = false
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return n
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

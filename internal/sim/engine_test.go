@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*NS, func() { got = append(got, 3) })
+	e.At(10*NS, func() { got = append(got, 1) })
+	e.At(20*NS, func() { got = append(got, 2) })
+	e.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*NS {
+		t.Fatalf("Now = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*NS, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEnginePriority(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.AtPri(5*NS, 1, func() { got = append(got, "low") })
+	e.AtPri(5*NS, 0, func() { got = append(got, "high") })
+	e.Run(0)
+	if got[0] != "high" || got[1] != "low" {
+		t.Fatalf("priority order = %v", got)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var rec func()
+	rec = func() {
+		n++
+		if n < 100 {
+			e.After(1*NS, rec)
+		}
+	}
+	e.After(0, rec)
+	e.Run(0)
+	if n != 100 {
+		t.Fatalf("n = %d, want 100", n)
+	}
+	if e.Now() != 99*NS {
+		t.Fatalf("Now = %v, want 99ns", e.Now())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*NS, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*NS, func() {})
+	})
+	e.Run(0)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10*NS, func() { ran++ })
+	e.At(20*NS, func() { ran++ })
+	e.At(30*NS, func() { ran++ })
+	n := e.RunUntil(20 * NS)
+	if n != 2 || ran != 2 {
+		t.Fatalf("RunUntil ran %d events, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if e.Now() != 20*NS {
+		t.Fatalf("Now = %v, want 20ns", e.Now())
+	}
+	// Deadline with no events advances time.
+	e2 := NewEngine()
+	e2.RunUntil(42 * NS)
+	if e2.Now() != 42*NS {
+		t.Fatalf("empty RunUntil Now = %v", e2.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1*NS, func() { ran++; e.Stop() })
+	e.At(2*NS, func() { ran++ })
+	e.Run(0)
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the engine: ran=%d", ran)
+	}
+}
+
+func TestClockEdges(t *testing.T) {
+	c := NewClock("fast", 1000) // 1 GHz
+	cases := []struct {
+		at   Time
+		next Time
+	}{
+		{0, 0}, {1, 1000}, {999, 1000}, {1000, 1000}, {1001, 2000},
+	}
+	for _, cse := range cases {
+		if got := c.NextEdge(cse.at); got != cse.next {
+			t.Errorf("NextEdge(%d) = %d, want %d", cse.at, got, cse.next)
+		}
+	}
+	if c.EdgeAfter(1000) != 2000 {
+		t.Errorf("EdgeAfter(1000) = %d", c.EdgeAfter(1000))
+	}
+	if c.EdgeAfter(1) != 1000 {
+		t.Errorf("EdgeAfter(1) = %d", c.EdgeAfter(1))
+	}
+	if c.EdgesAfter(0, 3) != 3000 {
+		t.Errorf("EdgesAfter(0,3) = %d", c.EdgesAfter(0, 3))
+	}
+}
+
+func TestClockMHz(t *testing.T) {
+	c := ClockMHz("efpga", 100)
+	if c.Period != 10000 {
+		t.Fatalf("100MHz period = %dps, want 10000", c.Period)
+	}
+	if f := c.FreqMHz(); f < 99.9 || f > 100.1 {
+		t.Fatalf("FreqMHz = %f", f)
+	}
+	c2 := ClockMHz("odd", 282)
+	if f := c2.FreqMHz(); f < 281 || f > 283 {
+		t.Fatalf("282MHz round-trip = %f", f)
+	}
+}
+
+func TestClockPhase(t *testing.T) {
+	c := &Clock{Name: "p", Period: 1000, Phase: 300}
+	if c.NextEdge(0) != 300 {
+		t.Fatalf("NextEdge(0) = %d", c.NextEdge(0))
+	}
+	if c.NextEdge(301) != 1300 {
+		t.Fatalf("NextEdge(301) = %d", c.NextEdge(301))
+	}
+	if c.EdgeAt(2) != 2300 {
+		t.Fatalf("EdgeAt(2) = %d", c.EdgeAt(2))
+	}
+}
+
+// Property: NextEdge always returns an edge (multiple of period plus phase)
+// that is >= the query time and < query + period.
+func TestClockNextEdgeProperty(t *testing.T) {
+	f := func(periodRaw uint16, atRaw uint32) bool {
+		period := Time(periodRaw%5000) + 1
+		c := NewClock("q", period)
+		at := Time(atRaw % 1000000)
+		e := c.NextEdge(at)
+		if e < at || e >= at+period {
+			return false
+		}
+		return e%period == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadBasic(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.Go("worker", func(th *Thread) {
+		trace = append(trace, th.Now())
+		th.Sleep(5 * NS)
+		trace = append(trace, th.Now())
+		th.Sleep(10 * NS)
+		trace = append(trace, th.Now())
+	})
+	e.Run(0)
+	want := []Time{0, 5 * NS, 15 * NS}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if e.LiveThreads() != 0 {
+		t.Fatalf("live threads = %d", e.LiveThreads())
+	}
+}
+
+func TestThreadInterleavingDeterminism(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for i := 0; i < 4; i++ {
+			name := string(rune('a' + i))
+			d := Time(i+1) * NS
+			e.Go(name, func(th *Thread) {
+				for k := 0; k < 3; k++ {
+					th.Sleep(d)
+					log = append(log, name)
+				}
+			})
+		}
+		e.Run(0)
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("nondeterministic length")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("nondeterministic interleaving: %v vs %v", got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestThreadSleepCycles(t *testing.T) {
+	e := NewEngine()
+	clk := NewClock("c", 10*NS)
+	var at Time
+	e.Go("t", func(th *Thread) {
+		th.Sleep(3 * NS) // now at 3ns, mid-cycle
+		th.SleepCycles(clk, 2)
+		at = th.Now()
+	})
+	e.Run(0)
+	// Edges at 0,10,20,...; 2 edges strictly after 3ns -> 20ns.
+	if at != 20*NS {
+		t.Fatalf("SleepCycles landed at %v, want 20ns", at)
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var woke []string
+	for _, n := range []string{"x", "y", "z"} {
+		n := n
+		e.Go(n, func(th *Thread) {
+			c.Wait(th)
+			woke = append(woke, n)
+		})
+	}
+	e.At(10*NS, func() { c.Signal() })
+	e.At(20*NS, func() { c.Broadcast() })
+	e.Run(0)
+	if len(woke) != 3 || woke[0] != "x" {
+		t.Fatalf("woke = %v", woke)
+	}
+	if e.LiveThreads() != 0 {
+		t.Fatalf("threads leaked")
+	}
+}
+
+func TestCondFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var woke []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Go("w", func(th *Thread) {
+			c.Wait(th)
+			woke = append(woke, i)
+		})
+	}
+	e.At(1*NS, func() {
+		for i := 0; i < 8; i++ {
+			c.Signal()
+		}
+	})
+	e.Run(0)
+	for i := range woke {
+		if woke[i] != i {
+			t.Fatalf("wake order = %v", woke)
+		}
+	}
+}
+
+func TestDeadlockedThreadDetectable(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go("stuck", func(th *Thread) { c.Wait(th) })
+	e.Run(0)
+	if e.LiveThreads() != 1 {
+		t.Fatalf("expected 1 live (deadlocked) thread, got %d", e.LiveThreads())
+	}
+	// Wake it so the goroutine exits cleanly.
+	c.Broadcast()
+	e.Run(0)
+	if e.LiveThreads() != 0 {
+		t.Fatal("thread did not drain")
+	}
+}
+
+func TestTXBreakdown(t *testing.T) {
+	tx := NewTX(100 * NS)
+	tx.Add(CatNoC, 10*NS)
+	tx.Add(CatFast, 5*NS)
+	tx.Add(CatCDC, 0) // ignored
+	tx.Finish(130 * NS)
+	if tx.Total() != 30*NS {
+		t.Fatalf("total = %v", tx.Total())
+	}
+	if tx.Unattributed() != 15*NS {
+		t.Fatalf("unattributed = %v", tx.Unattributed())
+	}
+	// nil-safety
+	var nilTX *TX
+	nilTX.Add(CatSlow, NS)
+	nilTX.Finish(0)
+	if nilTX.Total() != 0 || nilTX.Unattributed() != 0 {
+		t.Fatal("nil TX not inert")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500:       "500ps",
+		1500:      "1.500ns",
+		2500 * NS: "2.500us",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sim
+
+import "fmt"
+
+// Thread is a deterministic coroutine: a goroutine that the engine resumes
+// one at a time. At any instant at most one thread (or event callback) is
+// executing, so models need no locking and simulations are reproducible.
+//
+// Thread code interacts with simulated time only through the blocking
+// methods (Sleep, WaitUntil, park via Cond/queues). All wakeups are routed
+// through the event queue, never delivered inline, which preserves the
+// single-runner invariant.
+type Thread struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	parked bool
+	done   bool
+}
+
+// Go spawns fn as a new simulation thread named name. The thread begins
+// running at the current simulation time (via a scheduled event).
+func (e *Engine) Go(name string, fn func(*Thread)) *Thread {
+	t := &Thread{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		parked: true,
+	}
+	e.liveThreads++
+	go func() {
+		<-t.resume
+		fn(t)
+		t.done = true
+		t.eng.liveThreads--
+		t.yield <- struct{}{}
+	}()
+	e.At(e.now, t.dispatch)
+	return t
+}
+
+// dispatch resumes the thread from engine context and blocks until it parks
+// again or finishes. Spurious dispatches of a running or finished thread are
+// ignored.
+func (t *Thread) dispatch() {
+	if !t.parked || t.done {
+		return
+	}
+	t.parked = false
+	t.resume <- struct{}{}
+	<-t.yield
+}
+
+// park suspends the thread until the next dispatch. Must be called from the
+// thread's own goroutine.
+func (t *Thread) park() {
+	t.parked = true
+	t.yield <- struct{}{}
+	<-t.resume
+}
+
+// Name reports the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Engine reports the engine this thread runs on.
+func (t *Thread) Engine() *Engine { return t.eng }
+
+// Now reports the current simulation time.
+func (t *Thread) Now() Time { return t.eng.Now() }
+
+// Done reports whether the thread function has returned.
+func (t *Thread) Done() bool { return t.done }
+
+// WaitUntil suspends the thread until absolute time tm.
+func (t *Thread) WaitUntil(tm Time) {
+	if tm < t.eng.now {
+		panic(fmt.Sprintf("sim: thread %s waiting for past time %v (now %v)", t.name, tm, t.eng.now))
+	}
+	if tm == t.eng.now {
+		return
+	}
+	t.eng.At(tm, t.dispatch)
+	t.park()
+}
+
+// Sleep suspends the thread for duration d.
+func (t *Thread) Sleep(d Time) { t.WaitUntil(t.eng.now + d) }
+
+// SleepCycles suspends the thread for n rising edges of clk: the thread
+// resumes at the n-th edge strictly after the current time. n <= 0 aligns
+// to the next edge at or after now.
+func (t *Thread) SleepCycles(clk *Clock, n int64) {
+	t.WaitUntil(clk.EdgesAfter(t.eng.now, n))
+}
+
+// AlignTo suspends the thread until the next rising edge of clk at or after
+// the current time.
+func (t *Thread) AlignTo(clk *Clock) { t.WaitUntil(clk.NextEdge(t.eng.now)) }
+
+// LiveThreads reports the number of spawned threads that have not finished.
+// A nonzero value after Run returns usually means the model deadlocked.
+func (e *Engine) LiveThreads() int { return e.liveThreads }
+
+// Cond is a wait queue for threads. Waiters are woken in FIFO order, always
+// via the event queue (never inline), at the simulation time of the signal.
+type Cond struct {
+	eng     *Engine
+	waiters []*Thread
+}
+
+// NewCond returns a condition bound to engine e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait suspends t until a Signal or Broadcast wakes it. As with sync.Cond,
+// callers should re-check their predicate in a loop.
+func (c *Cond) Wait(t *Thread) {
+	c.waiters = append(c.waiters, t)
+	t.park()
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	t := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.At(c.eng.now, t.dispatch)
+}
+
+// Broadcast wakes all current waiters.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, t := range ws {
+		tt := t
+		c.eng.At(c.eng.now, tt.dispatch)
+	}
+}
+
+// Waiters reports the number of threads currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,78 @@
+package sim
+
+// Category labels a slice of a transaction's lifetime for the latency
+// breakdowns reported in the paper's Fig. 9.
+type Category int
+
+// Latency categories, matching the paper's breakdown.
+const (
+	CatNoC  Category = iota // network-on-chip transit
+	CatFast                 // cache/hub logic in the fast (processor) clock domain
+	CatSlow                 // cache/register logic in the slow (eFPGA) clock domain
+	CatCDC                  // clock-domain-crossing overhead (synchronizers + edge alignment)
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatNoC:
+		return "NoC"
+	case CatFast:
+		return "FastLogic"
+	case CatSlow:
+		return "SlowLogic"
+	case CatCDC:
+		return "CDC"
+	}
+	return "?"
+}
+
+// TX accumulates a per-category latency breakdown for one tagged
+// transaction. Components that process a tagged message attribute the time
+// they consume with Add. A nil *TX is valid and ignores all calls, so
+// models can attribute unconditionally.
+type TX struct {
+	Parts [NumCategories]Time
+	Start Time
+	End   Time
+}
+
+// NewTX returns a transaction record starting now.
+func NewTX(now Time) *TX { return &TX{Start: now} }
+
+// Add attributes duration d to category cat. Safe on nil receivers.
+func (tx *TX) Add(cat Category, d Time) {
+	if tx == nil || d <= 0 {
+		return
+	}
+	tx.Parts[cat] += d
+}
+
+// Finish records the completion time. Safe on nil receivers.
+func (tx *TX) Finish(now Time) {
+	if tx == nil {
+		return
+	}
+	tx.End = now
+}
+
+// Total reports the end-to-end latency (End - Start).
+func (tx *TX) Total() Time {
+	if tx == nil {
+		return 0
+	}
+	return tx.End - tx.Start
+}
+
+// Unattributed reports latency not covered by any category (queueing and
+// other waits the models did not classify).
+func (tx *TX) Unattributed() Time {
+	if tx == nil {
+		return 0
+	}
+	s := tx.Total()
+	for _, p := range tx.Parts {
+		s -= p
+	}
+	return s
+}

@@ -1,0 +1,254 @@
+package softcache
+
+import (
+	"testing"
+
+	"duet/internal/efpga"
+	"duet/internal/sim"
+)
+
+// fakePort is a deterministic in-test Memory Hub port: line loads and
+// stores against a backing map with a fixed latency.
+type fakePort struct {
+	eng     *sim.Engine
+	clk     *sim.Clock
+	backing map[uint64][]byte
+	invSink func(pa, vpn uint64)
+	seq     uint64
+	done    map[uint64][]byte
+	cond    *sim.Cond
+
+	loads, stores, amos int
+}
+
+func newFakePort(eng *sim.Engine, clk *sim.Clock) *fakePort {
+	return &fakePort{
+		eng: eng, clk: clk,
+		backing: make(map[uint64][]byte),
+		done:    make(map[uint64][]byte),
+		cond:    sim.NewCond(eng),
+	}
+}
+
+const fakeLatency = 50 * sim.NS
+
+func (p *fakePort) line(va uint64) []byte {
+	l := va &^ 15
+	if p.backing[l] == nil {
+		p.backing[l] = make([]byte, 16)
+	}
+	return p.backing[l]
+}
+
+func (p *fakePort) LoadAsync(t *sim.Thread, va uint64, size int) uint64 {
+	p.loads++
+	p.seq++
+	h := p.seq
+	off := int(va & 15)
+	p.eng.After(fakeLatency, func() {
+		out := make([]byte, size)
+		copy(out, p.line(va)[off:off+size])
+		p.done[h] = out
+		p.cond.Broadcast()
+	})
+	return h
+}
+
+func (p *fakePort) StoreAsync(t *sim.Thread, va uint64, data []byte) uint64 {
+	p.stores++
+	p.seq++
+	h := p.seq
+	cp := append([]byte(nil), data...)
+	p.eng.After(fakeLatency, func() {
+		copy(p.line(va)[va&15:], cp)
+		p.done[h] = []byte{}
+		p.cond.Broadcast()
+	})
+	return h
+}
+
+func (p *fakePort) Await(t *sim.Thread, h uint64) ([]byte, error) {
+	for p.done[h] == nil {
+		p.cond.Wait(t)
+	}
+	out := p.done[h]
+	delete(p.done, h)
+	return out, nil
+}
+
+func (p *fakePort) Load(t *sim.Thread, va uint64, size int) ([]byte, error) {
+	return p.Await(t, p.LoadAsync(t, va, size))
+}
+
+func (p *fakePort) LoadLine(t *sim.Thread, va uint64) ([]byte, error) {
+	return p.Load(t, va&^15, 16)
+}
+
+func (p *fakePort) Store(t *sim.Thread, va uint64, data []byte) error {
+	_, err := p.Await(t, p.StoreAsync(t, va, data))
+	return err
+}
+
+func (p *fakePort) Amo(t *sim.Thread, op int, va uint64, size int, a, b uint64) (uint64, error) {
+	p.amos++
+	t.Sleep(fakeLatency)
+	line := p.line(va)
+	off := va & 15
+	var old uint64
+	for i := 0; i < size; i++ {
+		old |= uint64(line[off+uint64(i)]) << (8 * i)
+	}
+	nv := old + a // add semantics suffice for the test
+	for i := 0; i < size; i++ {
+		line[off+uint64(i)] = byte(nv >> (8 * i))
+	}
+	return old, nil
+}
+
+func (p *fakePort) SetInvSink(fn func(pa, vpn uint64)) { p.invSink = fn }
+
+var _ efpga.MemIntf = (*fakePort)(nil)
+
+func rig() (*sim.Engine, *efpga.Env, *fakePort) {
+	eng := sim.NewEngine()
+	clk := sim.ClockMHz("efpga", 100)
+	port := newFakePort(eng, clk)
+	env := &efpga.Env{Eng: eng, Clk: clk}
+	return eng, env, port
+}
+
+func TestSoftCacheHitAvoidsPort(t *testing.T) {
+	eng, env, port := rig()
+	port.line(0x100)[0] = 42
+	c := New(env, port, Config{SizeBytes: 512, Ways: 2})
+	var v1, v2 uint64
+	eng.Go("acc", func(th *sim.Thread) {
+		v1, _ = c.Load64(th, 0x100)
+		v2, _ = c.Load64(th, 0x100)
+	})
+	eng.Run(0)
+	if v1 != 42 || v2 != 42 {
+		t.Fatalf("loads = %d, %d", v1, v2)
+	}
+	if port.loads != 1 {
+		t.Fatalf("port loads = %d, want 1 (second access must hit)", port.loads)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestSoftCacheWriteThrough(t *testing.T) {
+	eng, env, port := rig()
+	c := New(env, port, Config{SizeBytes: 512, Ways: 2})
+	eng.Go("acc", func(th *sim.Thread) {
+		c.Load64(th, 0x200) // allocate
+		c.Store64(th, 0x200, 77)
+		c.Drain(th)
+	})
+	eng.Run(0)
+	if port.stores != 1 {
+		t.Fatalf("stores = %d (not written through)", port.stores)
+	}
+	if got := port.line(0x200)[0]; got != 77 {
+		t.Fatalf("backing = %d", got)
+	}
+	// Local copy updated too.
+	var v uint64
+	eng.Go("check", func(th *sim.Thread) { v, _ = c.Load64(th, 0x200) })
+	eng.Run(0)
+	if v != 77 {
+		t.Fatalf("local copy = %d", v)
+	}
+}
+
+func TestSoftCacheRAWForwarding(t *testing.T) {
+	eng, env, _ := rig()
+	cFwd := New(env, newFakePort(eng, env.Clk), Config{SizeBytes: 512, Ways: 2, RAWForwarding: true})
+	var got uint64
+	var at sim.Time
+	eng.Go("acc", func(th *sim.Thread) {
+		cFwd.Store64(th, 0x300, 11)
+		start := th.Now()
+		got, _ = cFwd.Load64(th, 0x300) // must forward from the write buffer
+		at = th.Now() - start
+	})
+	eng.Run(0)
+	if got != 11 {
+		t.Fatalf("RAW value = %d", got)
+	}
+	if cFwd.RAWHits != 1 {
+		t.Fatalf("RAWHits = %d", cFwd.RAWHits)
+	}
+	if at > 20*sim.NS {
+		t.Fatalf("RAW forward took %v (went to the port?)", at)
+	}
+}
+
+func TestSoftCacheWriteBufferBackpressure(t *testing.T) {
+	eng, env, port := rig()
+	c := New(env, port, Config{SizeBytes: 512, Ways: 2, WriteBufferDepth: 2})
+	var issued []sim.Time
+	eng.Go("acc", func(th *sim.Thread) {
+		for i := 0; i < 4; i++ {
+			c.Store64(th, uint64(0x400+i*16), uint64(i))
+			issued = append(issued, th.Now())
+		}
+		c.Drain(th)
+	})
+	eng.Run(0)
+	// The third store must stall until a buffer slot frees (~50ns port
+	// latency), unlike the first two.
+	if d := issued[2] - issued[1]; d < 30*sim.NS {
+		t.Fatalf("no backpressure: third store issued %v after second", d)
+	}
+	if port.stores != 4 {
+		t.Fatalf("stores = %d", port.stores)
+	}
+}
+
+func TestSoftCacheInvalidationStream(t *testing.T) {
+	eng, env, port := rig()
+	port.line(0x500)[0] = 1
+	c := New(env, port, Config{SizeBytes: 512, Ways: 2})
+	var v1, v2 uint64
+	eng.Go("acc", func(th *sim.Thread) {
+		v1, _ = c.Load64(th, 0x500)
+		th.Sleep(200 * sim.NS)
+		v2, _ = c.Load64(th, 0x500) // after inv: must refetch
+	})
+	eng.At(100*sim.NS, func() {
+		port.line(0x500)[0] = 2
+		port.invSink(0x500, 0) // proxy pushes an invalidation
+	})
+	eng.Run(0)
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("loads = %d, %d; invalidation not applied", v1, v2)
+	}
+	if c.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", c.Invalidations)
+	}
+	if port.loads != 2 {
+		t.Fatalf("port loads = %d (stale hit after inv?)", port.loads)
+	}
+}
+
+func TestSoftCacheAmoPassthrough(t *testing.T) {
+	eng, env, port := rig()
+	port.line(0x600)[0] = 10
+	c := New(env, port, Config{SizeBytes: 512, Ways: 2})
+	var old, reread uint64
+	eng.Go("acc", func(th *sim.Thread) {
+		c.Load64(th, 0x600)                   // cache the line
+		c.Store64(th, 0x600+8, 1)             // leave a buffered write
+		old, _ = c.Amo(th, 0, 0x600, 8, 5, 0) // must drain + invalidate + execute at home
+		reread, _ = c.Load64(th, 0x600)       // refetch: sees the atomic's result
+	})
+	eng.Run(0)
+	if port.amos != 1 {
+		t.Fatalf("amos = %d", port.amos)
+	}
+	if old != 10 || reread != 15 {
+		t.Fatalf("amo old=%d reread=%d, want 10, 15", old, reread)
+	}
+}

@@ -1,0 +1,330 @@
+package duet
+
+import (
+	"fmt"
+	"math"
+
+	"duet/internal/coherence"
+	"duet/internal/core"
+	"duet/internal/cpu"
+	"duet/internal/efpga"
+	"duet/internal/mmu"
+	"duet/internal/noc"
+	"duet/internal/params"
+	"duet/internal/sim"
+)
+
+// Style selects the system organization.
+type Style int
+
+// System styles.
+const (
+	// StyleCPUOnly is the processor-only baseline: no eFPGA, no adapter.
+	StyleCPUOnly Style = iota
+	// StyleDuet is the paper's architecture: fast-domain Proxy Caches and
+	// Shadow Registers in Duet Adapters.
+	StyleDuet
+	// StyleFPSoC is the §V-D baseline: the FPGA-side cache runs in the
+	// slow clock domain and all shadow registers are downgraded to
+	// normal registers.
+	StyleFPSoC
+)
+
+func (s Style) String() string {
+	return [...]string{"cpu-only", "duet", "fpsoc"}[s]
+}
+
+// Config describes a Dolly instance (paper §IV: Dolly-PpMm has p
+// processors and m memory hubs).
+type Config struct {
+	Cores   int
+	MemHubs int
+	Style   Style
+
+	// EFPGAs instantiates multiple independent eFPGAs, each behind its
+	// own Duet Adapter with MemHubs memory hubs (paper Fig. 1c: "multiple
+	// independent embedded FPGAs"). Defaults to 1.
+	EFPGAs int
+
+	// RegSpecs configures each adapter's soft registers. Defaults to 8
+	// normal registers when empty.
+	RegSpecs []core.SoftRegSpec
+
+	// FabricCap is the eFPGA capacity; a generous default is used when
+	// zero (capacity is checked against the configured bitstream).
+	FabricCap efpga.Resources
+
+	// FPGAFreqMHz sets the initial eFPGA clock (later adjustable through
+	// the FPGA manager or bitstream Fmax). Defaults to 100 MHz.
+	FPGAFreqMHz float64
+}
+
+// System is one built Dolly instance.
+type System struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Mesh  *noc.Mesh
+	Dom   *coherence.Domain
+	Cores []*cpu.Core
+	PT    *mmu.PageTable
+
+	// Adapters and Fabrics hold one entry per eFPGA; Adapter and Fabric
+	// alias the first for the common single-eFPGA case.
+	Adapters []*core.Adapter
+	Fabrics  []*efpga.Fabric
+	Adapter  *core.Adapter
+	Fabric   *efpga.Fabric
+
+	next uint64 // bump allocator
+}
+
+// New builds a system. Tiles are laid out row-major: cores first, then
+// the C-tile (control hub + hub 0), then M-tiles, mirroring Dolly's
+// P-tile/C-tile/M-tile structure (paper Fig. 8).
+func New(cfg Config) *System {
+	if cfg.Cores <= 0 {
+		panic("duet: need at least one core")
+	}
+	if cfg.Style == StyleCPUOnly && cfg.MemHubs > 0 {
+		panic("duet: CPU-only systems have no memory hubs")
+	}
+	if cfg.FPGAFreqMHz == 0 {
+		cfg.FPGAFreqMHz = 100
+	}
+	if cfg.EFPGAs == 0 {
+		cfg.EFPGAs = 1
+	}
+	if cfg.Style == StyleCPUOnly {
+		cfg.EFPGAs = 0
+	}
+
+	eng := sim.NewEngine()
+	fastClk := sim.NewClock("sys", params.CPUClockPS)
+
+	tilesPerAdapter := 1 // C-tile
+	if cfg.MemHubs > 1 {
+		tilesPerAdapter += cfg.MemHubs - 1 // M-tiles
+	}
+	tiles := cfg.Cores + cfg.EFPGAs*tilesPerAdapter
+	w := int(math.Ceil(math.Sqrt(float64(tiles))))
+	h := (tiles + w - 1) / w
+	mesh := noc.NewMesh(eng, fastClk, w, h)
+
+	homeTiles := make([]int, 0, tiles)
+	for i := 0; i < tiles; i++ {
+		homeTiles = append(homeTiles, i)
+	}
+	dom := coherence.NewDomain(eng, mesh, homeTiles)
+
+	s := &System{
+		Cfg:  cfg,
+		Eng:  eng,
+		Mesh: mesh,
+		Dom:  dom,
+		PT:   mmu.NewPageTable(),
+		next: 0x10000,
+	}
+
+	ctrlTiles := make([]int, cfg.EFPGAs)
+	for a := range ctrlTiles {
+		ctrlTiles[a] = cfg.Cores + a*tilesPerAdapter
+	}
+	var route func(addr uint64) (int, bool)
+	if cfg.EFPGAs > 0 {
+		route = func(addr uint64) (int, bool) {
+			if addr < params.MMIOBase {
+				return 0, false
+			}
+			id := int((addr - params.MMIOBase) / core.AdapterStride)
+			if id >= len(ctrlTiles) {
+				return 0, false
+			}
+			return ctrlTiles[id], true
+		}
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.Cores = append(s.Cores, cpu.New(eng, mesh, dom, i, i, route))
+	}
+
+	capacity := cfg.FabricCap
+	if capacity == (efpga.Resources{}) {
+		capacity = efpga.Resources{LUTs: 1 << 20, FFs: 1 << 21, BRAMKb: 1 << 16, DSPs: 1 << 12}
+	}
+	for a := 0; a < cfg.EFPGAs; a++ {
+		fab := efpga.NewFabric(eng, fmt.Sprintf("efpga%d", a), capacity)
+		fab.SetFreqMHz(cfg.FPGAFreqMHz)
+		hubTiles := make([]int, 0, cfg.MemHubs)
+		for i := 0; i < cfg.MemHubs; i++ {
+			hubTiles = append(hubTiles, ctrlTiles[a]+i)
+		}
+		ad := core.NewAdapter(eng, mesh, dom, fab, core.AdapterConfig{
+			ID:          a,
+			CtrlTile:    ctrlTiles[a],
+			HubTiles:    hubTiles,
+			CacheIDBase: 1000 + a*100,
+			RegSpecs:    cfg.RegSpecs,
+			FPSoC:       cfg.Style == StyleFPSoC,
+			IRQ:         s.Cores[0],
+		})
+		s.Adapters = append(s.Adapters, ad)
+		s.Fabrics = append(s.Fabrics, fab)
+	}
+	if cfg.EFPGAs > 0 {
+		s.Adapter = s.Adapters[0]
+		s.Fabric = s.Fabrics[0]
+		// The kernel TLB-fault handler runs on core 0 and dispatches on
+		// the raising adapter.
+		handlers := make([]func(cpu.Proc, cpu.IRQ), len(s.Adapters))
+		for i, ad := range s.Adapters {
+			handlers[i] = ad.KernelTLBHandler(s.PT)
+		}
+		s.Cores[0].SetIRQHandler(func(p cpu.Proc, irq cpu.IRQ) {
+			for _, h := range handlers {
+				h(p, irq)
+			}
+		})
+	}
+	return s
+}
+
+// Alloc reserves n bytes of simulated physical memory (64-byte aligned)
+// and returns the base address.
+func (s *System) Alloc(n int) uint64 {
+	base := s.next
+	s.next += uint64((n + 63) &^ 63)
+	return base
+}
+
+// AllocPage reserves one page-aligned page and returns its base.
+func (s *System) AllocPage() uint64 {
+	s.next = (s.next + mmu.PageSize - 1) &^ uint64(mmu.PageSize-1)
+	base := s.next
+	s.next += mmu.PageSize
+	return base
+}
+
+// InstallAccelerator registers, configures and starts a bitstream on
+// eFPGA 0, and runs its clock at the accelerator's maximum frequency (as
+// the paper's per-benchmark evaluation does). Programming-engine flows go
+// through MMIO instead (see Program).
+func (s *System) InstallAccelerator(bs *efpga.Bitstream) error {
+	return s.InstallAcceleratorOn(0, bs)
+}
+
+// InstallAcceleratorOn installs a bitstream on eFPGA idx.
+func (s *System) InstallAcceleratorOn(idx int, bs *efpga.Bitstream) error {
+	fab := s.Fabrics[idx]
+	fab.Register(bs)
+	if err := fab.Configure(bs); err != nil {
+		return err
+	}
+	if bs.FmaxMHz > 0 {
+		fab.SetFreqMHz(bs.FmaxMHz)
+	}
+	s.Adapters[idx].StartAccelerator()
+	return nil
+}
+
+// ReadMem64 reads the current coherent value of a 64-bit word — for
+// result checking after a run (dirty cache copies win over memory).
+func (s *System) ReadMem64(addr uint64) uint64 {
+	line := s.Dom.DebugReadLine(addr &^ (params.LineBytes - 1))
+	off := int(addr % params.LineBytes)
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(line[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// ReadMem32 reads the current coherent value of a 32-bit word.
+func (s *System) ReadMem32(addr uint64) uint32 {
+	line := s.Dom.DebugReadLine(addr &^ (params.LineBytes - 1))
+	off := int(addr % params.LineBytes)
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(line[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// Run drains the event queue. It returns the final simulation time.
+func (s *System) Run() sim.Time {
+	s.Eng.Run(0)
+	return s.Eng.Now()
+}
+
+// RunChecked runs to completion and validates coherence invariants.
+func (s *System) RunChecked() (sim.Time, error) {
+	t := s.Run()
+	if !s.Dom.Quiet() {
+		return t, fmt.Errorf("duet: coherence domain not quiescent at end of run")
+	}
+	if err := coherence.CheckCoherence(s.Dom); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// --- MMIO address helpers (the "device driver" constants) ------------------
+
+// SoftRegAddr returns the MMIO address of soft register reg on adapter 0.
+func SoftRegAddr(reg int) uint64 { return SoftRegAddrOn(0, reg) }
+
+// SoftRegAddrOn returns the MMIO address of a soft register on adapter a.
+func SoftRegAddrOn(a, reg int) uint64 {
+	return core.BaseAddr(a) + 0x8000 + uint64(reg)*8
+}
+
+// HubSwitchAddr returns the MMIO address of a feature switch on adapter 0.
+func HubSwitchAddr(hub int, sw uint64) uint64 { return HubSwitchAddrOn(0, hub, sw) }
+
+// HubSwitchAddrOn returns the MMIO address of a feature switch on adapter a.
+func HubSwitchAddrOn(a, hub int, sw uint64) uint64 {
+	return core.BaseAddr(a) + 0x1000 + uint64(hub)*0x100 + sw
+}
+
+// MgrRegAddr returns the MMIO address of an FPGA-manager register on
+// adapter 0.
+func MgrRegAddr(reg uint64) uint64 { return core.BaseAddr(0) + reg }
+
+// MgrRegAddrOn returns the MMIO address of an FPGA-manager register on
+// adapter a.
+func MgrRegAddrOn(a int, reg uint64) uint64 { return core.BaseAddr(a) + reg }
+
+// TLBRegAddr returns the MMIO address of a TLB-window register.
+func TLBRegAddr(hub int, reg uint64) uint64 {
+	return core.BaseAddr(0) + 0x4000 + uint64(hub)*0x100 + reg
+}
+
+// EnableHub turns on memory hub i with the given feature switches; call
+// from a host program running on a core.
+func EnableHub(p cpu.Proc, hub int, fwdInv, atomics, virtMode bool) {
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	p.MMIOWrite64(HubSwitchAddr(hub, core.SwFwdInv), b(fwdInv))
+	p.MMIOWrite64(HubSwitchAddr(hub, core.SwAtomics), b(atomics))
+	p.MMIOWrite64(HubSwitchAddr(hub, core.SwVirtMode), b(virtMode))
+	p.MMIOWrite64(HubSwitchAddr(hub, core.SwEnable), 1)
+}
+
+// Program runs the MMIO programming flow for a registered bitstream and
+// polls until the engine reports ready or error. It returns false on
+// programming failure.
+func Program(p cpu.Proc, bitstreamID int) bool {
+	p.MMIOWrite64(MgrRegAddr(core.RegProgram), uint64(bitstreamID))
+	for {
+		st := p.MMIORead64(MgrRegAddr(core.RegStatus)) & 0xff
+		if st == core.StatusReady {
+			return true
+		}
+		if st == core.StatusError {
+			return false
+		}
+		p.Exec(50)
+	}
+}
