@@ -163,6 +163,14 @@ type Adapter struct {
 	stageVPN []uint64
 	stagePPN []uint64
 
+	// OnAccelStart, when set, is invoked each time the configured
+	// accelerator is (re)started: after the programming engine completes
+	// (both the MMIO RegProgram flow and ProgramAsync), after a
+	// control-register reset, and on StartAccelerator. It is the
+	// adapter-wide start notification; ProgramAsync's done callback fires
+	// right after the same instant for that one flow.
+	OnAccelStart func(bs *efpga.Bitstream)
+
 	// Stats.
 	MMIOOps, Timeouts, Exceptions uint64
 }
@@ -494,6 +502,49 @@ func (a *Adapter) startAccel() {
 		env.Mem = append(env.Mem, h.port)
 	}
 	acc.Start(env)
+	if a.OnAccelStart != nil {
+		a.OnAccelStart(a.fabric.Current())
+	}
+}
+
+// Resident reports the bitstream currently configured on the attached
+// fabric (nil if unprogrammed) — the scheduler's residency query.
+func (a *Adapter) Resident() *efpga.Bitstream { return a.fabric.Current() }
+
+// FastClock returns the adapter's fast-domain clock.
+func (a *Adapter) FastClock() *sim.Clock { return a.fastClk }
+
+// QuiesceHubs deactivates every Memory Hub — the driver-side precondition
+// of the programming engine (paper §II-B) — and returns a bitmask of the
+// hubs that were enabled, suitable for a faithful ResumeHubs restore.
+// In-flight coherence completes; new fabric requests fail until resumed.
+func (a *Adapter) QuiesceHubs() uint64 {
+	var mask uint64
+	for i, h := range a.hubs {
+		if h.enabled {
+			mask |= 1 << i
+		}
+		h.deactivate()
+	}
+	return mask
+}
+
+// ResumeHubs sets each Memory Hub's enable switch to the corresponding
+// mask bit (bits past the hub count are ignored); all other feature
+// switches keep their previously programmed values. Pass the mask
+// QuiesceHubs returned to restore the pre-quiesce state, or an all-ones
+// mask to grant every hub.
+func (a *Adapter) ResumeHubs(mask uint64) {
+	for i, h := range a.hubs {
+		if mask&(1<<i) != 0 {
+			h.enabled = true
+		} else {
+			// Disable through deactivate so threads parked on the hub's
+			// conditions are woken to observe the change, matching every
+			// other disable path.
+			h.deactivate()
+		}
+	}
 }
 
 // StartAccelerator is the test/app-facing way to start a directly

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"duet/internal/efpga"
 	"duet/internal/params"
 )
 
@@ -61,41 +64,78 @@ func (m *fpgaMgr) access(op *inflight, off uint64, write bool, val uint64) {
 	}
 }
 
-// program runs the programming engine: it requires all Memory Hubs to be
-// deactivated (paper §II-B), streams the configuration image into the
-// configuration memory, verifies its integrity, and starts the
-// accelerator on success.
-func (m *fpgaMgr) program(op *inflight, bitstreamID int) {
+// checkPreconditions validates the programming preconditions: all Memory
+// Hubs deactivated (paper §II-B) and a registered bitstream id. On
+// violation it latches the error state and returns a non-nil error.
+func (m *fpgaMgr) checkPreconditions(bitstreamID int) (*efpga.Bitstream, error) {
 	a := m.a
+	if m.status == StatusProgramming {
+		// A stream is in flight (possibly started by the other entry
+		// point — MMIO RegProgram vs ProgramAsync). Reject without
+		// disturbing its status.
+		return nil, fmt.Errorf("core: programming engine busy")
+	}
 	for _, h := range a.hubs {
 		if h.enabled {
 			m.status = StatusError
 			a.RaiseExceptionCode(ErrProgram, false)
-			a.complete(op, 0, true)
-			return
+			return nil, fmt.Errorf("core: programming requires all memory hubs deactivated")
 		}
 	}
 	bs, err := a.fabric.BitstreamByID(bitstreamID)
 	if err != nil {
 		m.status = StatusError
 		a.RaiseExceptionCode(ErrProgram, false)
-		a.complete(op, 0, true)
-		return
+		return nil, err
 	}
-	m.status = StatusProgramming
-	// The MMIO write completes immediately; programming proceeds in the
-	// background (software polls RegStatus).
-	a.afterFast(1, op.tx, func() { a.complete(op, 0, false) })
+	return bs, nil
+}
 
-	// Stream the image at one configuration word (16B) per fast cycle.
+// stream runs the programming engine proper: it streams the configuration
+// image into the configuration memory at one configuration word (16B) per
+// fast cycle, verifies its integrity, and starts the accelerator on
+// success. done is invoked exactly once — with nil after the accelerator
+// has (re)started, or with the configuration error.
+func (m *fpgaMgr) stream(bs *efpga.Bitstream, done func(error)) {
+	a := m.a
+	m.status = StatusProgramming
 	cycles := int64(len(bs.Image)+params.LineBytes-1) / params.LineBytes
 	a.eng.After(a.fastClk.Cycles(cycles), func() {
 		if err := a.fabric.Configure(bs); err != nil {
 			m.status = StatusError
 			a.RaiseExceptionCode(ErrProgram, false)
+			done(err)
 			return
 		}
 		m.status = StatusReady
 		a.startAccel()
+		done(nil)
 	})
+}
+
+// program runs the MMIO flow of the programming engine.
+func (m *fpgaMgr) program(op *inflight, bitstreamID int) {
+	a := m.a
+	bs, err := m.checkPreconditions(bitstreamID)
+	if err != nil {
+		a.complete(op, 0, true)
+		return
+	}
+	// The MMIO write completes immediately; programming proceeds in the
+	// background (software polls RegStatus).
+	a.afterFast(1, op.tx, func() { a.complete(op, 0, false) })
+	m.stream(bs, func(error) {})
+}
+
+// ProgramAsync drives the programming engine without an MMIO requester —
+// the scheduler's path. Preconditions and streaming cost are identical to
+// the RegProgram flow; done fires with nil once the accelerator has
+// restarted (the startAccel completion notification) or with the error.
+func (a *Adapter) ProgramAsync(bitstreamID int, done func(error)) {
+	bs, err := a.mgr.checkPreconditions(bitstreamID)
+	if err != nil {
+		done(err)
+		return
+	}
+	a.mgr.stream(bs, done)
 }

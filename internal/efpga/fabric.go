@@ -186,6 +186,16 @@ func (f *Fabric) Register(b *Bitstream) int {
 	return len(f.bitstreams) - 1
 }
 
+// IDByName returns the id of the registered bitstream named name.
+func (f *Fabric) IDByName(name string) (int, bool) {
+	for i, b := range f.bitstreams {
+		if b.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // BitstreamByID returns a registered bitstream.
 func (f *Fabric) BitstreamByID(id int) (*Bitstream, error) {
 	if id < 0 || id >= len(f.bitstreams) {

@@ -1,0 +1,128 @@
+package sched
+
+import "fmt"
+
+// Policy selects how queued jobs are matched with idle eFPGAs.
+type Policy int
+
+// Scheduling policies.
+const (
+	// FIFO dispatches strictly in arrival order onto the lowest-numbered
+	// idle fabric that fits the job, ignoring residency; the head of the
+	// line is never overtaken.
+	FIFO Policy = iota
+	// SJF dispatches the queued job with the smallest predicted service
+	// time (ties broken by higher priority, then arrival order),
+	// preferring a fabric where its bitstream is already resident.
+	SJF
+	// Affinity is reuse-aware: it first dispatches jobs whose bitstream
+	// is resident on an idle fabric (avoiding reprogramming entirely),
+	// falling back to FIFO order when no resident match exists.
+	Affinity
+	NumPolicies
+)
+
+func (p Policy) String() string {
+	names := [...]string{"fifo", "sjf", "affinity"}
+	if p < 0 || int(p) >= len(names) {
+		return "unknown"
+	}
+	return names[p]
+}
+
+// PolicyByName parses a policy name as printed by String.
+func PolicyByName(name string) (Policy, error) {
+	for p := Policy(0); p < NumPolicies; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", name)
+}
+
+// pick applies the configured policy: it returns the chosen idle worker
+// and the queue index of the job to place, or (nil, -1) when nothing is
+// placeable — the queue is empty, every worker is busy, or (with
+// heterogeneous fabric capacities) every fabric the candidate fits is
+// busy. Jobs are only ever paired with fabrics that can hold their
+// bitstream, so an admitted job waits for a fitting fabric instead of
+// being killed on a too-small one.
+func (s *Scheduler) pick() (*worker, int) {
+	if len(s.queue) == 0 {
+		return nil, -1
+	}
+	var idle []*worker
+	for _, w := range s.workers {
+		if !w.busy {
+			idle = append(idle, w)
+		}
+	}
+	if len(idle) == 0 {
+		return nil, -1
+	}
+	fitting := func(j *Job) []*worker {
+		app := s.apps[j.App]
+		var ws []*worker
+		for _, w := range idle {
+			if app.BS.Res.Fits(w.fab.Cap) {
+				ws = append(ws, w)
+			}
+		}
+		return ws
+	}
+	switch s.cfg.Policy {
+	case SJF:
+		best := -1
+		var bestWs []*worker
+		for i, j := range s.queue {
+			ws := fitting(j)
+			if len(ws) == 0 {
+				continue
+			}
+			if best == -1 {
+				best, bestWs = i, ws
+				continue
+			}
+			di, db := s.predict(j), s.predict(s.queue[best])
+			if di < db || (di == db && j.Priority > s.queue[best].Priority) {
+				best, bestWs = i, ws
+			}
+		}
+		if best == -1 {
+			return nil, -1
+		}
+		return preferResident(bestWs, s.queue[best].App), best
+	case Affinity:
+		for i, j := range s.queue {
+			for _, w := range idle {
+				if w.resident() == j.App {
+					return w, i
+				}
+			}
+		}
+		for i, j := range s.queue {
+			if ws := fitting(j); len(ws) > 0 {
+				return ws[0], i
+			}
+		}
+		return nil, -1
+	default: // FIFO: strict arrival order — the head waits for a fitting
+		// fabric to free rather than being overtaken.
+		ws := fitting(s.queue[0])
+		if len(ws) == 0 {
+			return nil, -1
+		}
+		return ws[0], 0
+	}
+}
+
+// preferResident picks the first idle worker whose fabric already holds
+// the named bitstream, defaulting to the lowest-numbered idle worker.
+func preferResident(idle []*worker, app string) *worker {
+	for _, w := range idle {
+		if w.resident() == app {
+			return w
+		}
+	}
+	return idle[0]
+}

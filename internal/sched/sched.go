@@ -1,0 +1,331 @@
+// Package sched is a multi-tenant accelerator-as-a-service runtime over
+// the system's eFPGA fabrics. It accepts a stream of jobs — each naming a
+// registered application bitstream, an input size, and a deadline and
+// priority — admits them through a bounded queue, and places them across
+// every configured eFPGA. Placement reuses an already-resident bitstream
+// when possible; otherwise it pays the modeled reprogramming cost: the
+// driver quiesces the adapter's Memory Hubs, runs the programming-engine
+// flow (the same streaming + integrity model behind RegProgram), and
+// re-enables the hubs once the accelerator has restarted.
+//
+// The scheduling policy — FIFO, shortest-job-first, or affinity
+// (reuse-aware) — is selected at construction; see policy.go. Per-job
+// wait/service times and per-fabric utilization and reconfiguration
+// counts are collected throughout; see stats.go.
+package sched
+
+import (
+	"fmt"
+
+	"duet/internal/core"
+	"duet/internal/efpga"
+	"duet/internal/sim"
+)
+
+// Timing model of the driver's reconfiguration flow, beyond the
+// programming engine's own streaming cost (which is charged by
+// Adapter.ProgramAsync):
+const (
+	// hubToggleCycles charges one MMIO round trip on the fast clock per
+	// Memory Hub feature-switch write (quiesce before programming,
+	// re-enable after).
+	hubToggleCycles = 32
+	// defaultSettleCycles is the default Config.SettleCycles: fabric-clock
+	// cycles after configuration for partial-region reset, configuration
+	// scrubbing, and clock-generator relock before the accelerator can
+	// accept work.
+	defaultSettleCycles = 1024
+	// defaultQueueCap is the default admission-queue bound.
+	defaultQueueCap = 64
+)
+
+// App couples a synthesized bitstream with the scheduler's analytic
+// service-time model: a job over app a with input size n occupies the
+// fabric for FixedCycles + n*CyclesPerItem cycles of the fabric clock,
+// run at the bitstream's Fmax.
+type App struct {
+	BS            *efpga.Bitstream
+	FixedCycles   int64
+	CyclesPerItem int64
+
+	period sim.Time // service clock period, derived from BS.FmaxMHz
+}
+
+// cycles is the modeled fabric occupancy of one job with input size n —
+// the single source of truth for both SJF's estimate and the charged
+// service time.
+func (a *App) cycles(n int) int64 { return a.FixedCycles + a.CyclesPerItem*int64(n) }
+
+// Job is one unit of work submitted to the scheduler. The caller fills
+// the request fields; the scheduler fills the outcome fields.
+type Job struct {
+	ID        int
+	App       string   // bitstream name (RegisterApp key)
+	InputSize int      // work items
+	Priority  int      // higher is more urgent (SJF tie-break)
+	Deadline  sim.Time // absolute completion deadline; 0 = none
+
+	// Outcome.
+	Submit       sim.Time
+	Start        sim.Time // dispatch instant (end of queue wait)
+	Finish       sim.Time
+	Fabric       int
+	Reprogrammed bool
+	Err          error
+}
+
+// Wait is the time spent in the admission queue.
+func (j *Job) Wait() sim.Time { return j.Start - j.Submit }
+
+// Service is the time spent occupying a fabric (including any
+// reprogramming the job triggered).
+func (j *Job) Service() sim.Time { return j.Finish - j.Start }
+
+// Sojourn is the submit-to-finish latency.
+func (j *Job) Sojourn() sim.Time { return j.Finish - j.Submit }
+
+// MissedDeadline reports whether the job finished past its deadline.
+func (j *Job) MissedDeadline() bool { return j.Deadline > 0 && j.Finish > j.Deadline }
+
+// Config selects the scheduling policy and admission bound.
+type Config struct {
+	Policy   Policy
+	QueueCap int // bounded admission queue; defaults to 64
+	// SettleCycles is the post-configuration settle time in fabric-clock
+	// cycles (defaults to 1024; see the timing-model constants above).
+	SettleCycles int64
+}
+
+// worker tracks one eFPGA (fabric + adapter) and its accumulated stats.
+type worker struct {
+	id     int
+	ad     *core.Adapter
+	fab    *efpga.Fabric
+	busy   bool
+	busyAt sim.Time
+
+	jobs      int
+	reconfigs int
+	busyTotal sim.Time
+}
+
+// resident reports the name of the fabric's installed bitstream ("" when
+// unprogrammed).
+func (w *worker) resident() string {
+	if bs := w.ad.Resident(); bs != nil {
+		return bs.Name
+	}
+	return ""
+}
+
+// Scheduler is the accelerator-as-a-service runtime.
+type Scheduler struct {
+	eng     *sim.Engine
+	cfg     Config
+	apps    map[string]*App
+	appList []string // registration order (deterministic iteration)
+	workers []*worker
+	queue   []*Job
+	nextID  int
+
+	// Outcome ledgers.
+	Completed []*Job
+	Failed    []*Job // unknown app, over-capacity bitstream, programming error
+	Rejected  int    // bounced by the full admission queue
+}
+
+// New builds a scheduler over the given adapters and fabrics (one worker
+// per pair). At least one eFPGA is required.
+func New(eng *sim.Engine, adapters []*core.Adapter, fabrics []*efpga.Fabric, cfg Config) *Scheduler {
+	if len(adapters) == 0 || len(adapters) != len(fabrics) {
+		panic("sched: need at least one eFPGA (adapter/fabric pair)")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = defaultQueueCap
+	}
+	if cfg.SettleCycles <= 0 {
+		cfg.SettleCycles = defaultSettleCycles
+	}
+	s := &Scheduler{eng: eng, cfg: cfg, apps: make(map[string]*App)}
+	for i := range adapters {
+		s.workers = append(s.workers, &worker{id: i, ad: adapters[i], fab: fabrics[i]})
+	}
+	return s
+}
+
+// Config reports the scheduler's configuration (defaults applied).
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// RegisterApp adds an application to the service catalog, registering its
+// bitstream with every fabric's image library.
+func (s *Scheduler) RegisterApp(app App) error {
+	if app.BS == nil || app.BS.Name == "" {
+		return fmt.Errorf("sched: app needs a named bitstream")
+	}
+	if _, dup := s.apps[app.BS.Name]; dup {
+		return fmt.Errorf("sched: app %q already registered", app.BS.Name)
+	}
+	if app.CyclesPerItem <= 0 {
+		app.CyclesPerItem = 1
+	}
+	if app.BS.FmaxMHz > 0 {
+		app.period = sim.Time(1e6/app.BS.FmaxMHz + 0.5)
+	} else {
+		app.period = sim.Time(1e4) // 100 MHz fallback
+	}
+	for _, w := range s.workers {
+		w.fab.Register(app.BS)
+	}
+	s.apps[app.BS.Name] = &app
+	s.appList = append(s.appList, app.BS.Name)
+	return nil
+}
+
+// Apps lists the registered application names in registration order.
+func (s *Scheduler) Apps() []string { return append([]string(nil), s.appList...) }
+
+// QueueLen reports the current admission-queue depth.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// predict estimates a job's fabric occupancy from the catalog model (used
+// by SJF and for deadline admission by callers).
+func (s *Scheduler) predict(j *Job) sim.Time {
+	app := s.apps[j.App]
+	return sim.Time(app.cycles(j.InputSize)) * app.period
+}
+
+// Submit offers a job to the scheduler at the current simulation time. It
+// returns false when the job was not admitted: unknown application or a
+// bitstream no fabric can hold (the job lands in Failed with Err set), or
+// a full admission queue (counted in Rejected).
+func (s *Scheduler) Submit(j *Job) bool {
+	s.nextID++
+	j.ID = s.nextID
+	j.Submit = s.eng.Now()
+	app, ok := s.apps[j.App]
+	if !ok {
+		j.Err = fmt.Errorf("sched: unknown app %q", j.App)
+		s.Failed = append(s.Failed, j)
+		return false
+	}
+	fits := false
+	for _, w := range s.workers {
+		if app.BS.Res.Fits(w.fab.Cap) {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		j.Err = fmt.Errorf("sched: bitstream %q (%+v) exceeds every fabric's capacity", j.App, app.BS.Res)
+		s.Failed = append(s.Failed, j)
+		return false
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.Rejected++
+		return false
+	}
+	s.queue = append(s.queue, j)
+	s.dispatch()
+	return true
+}
+
+// dispatch drains the admission queue onto idle workers, one placement
+// per iteration, until the policy finds nothing placeable.
+func (s *Scheduler) dispatch() {
+	for {
+		w, qi := s.pick()
+		if w == nil {
+			return
+		}
+		j := s.queue[qi]
+		s.queue = append(s.queue[:qi], s.queue[qi+1:]...)
+		s.place(w, j)
+	}
+}
+
+// place starts job j on worker w: directly when the needed bitstream is
+// resident, otherwise through the quiesce → program → resume flow.
+func (s *Scheduler) place(w *worker, j *Job) {
+	now := s.eng.Now()
+	j.Start = now
+	j.Fabric = w.id
+	w.busy = true
+	w.busyAt = now
+	app := s.apps[j.App]
+	if w.resident() == j.App {
+		s.serve(w, j, app)
+		return
+	}
+	if !app.BS.Res.Fits(w.fab.Cap) {
+		// pick never pairs a job with a too-small fabric; this guards a
+		// future policy bug from wedging the worker.
+		s.fail(w, j, fmt.Errorf("sched: bitstream %q exceeds fabric %q capacity", j.App, w.fab.Name))
+		return
+	}
+	id, ok := w.fab.IDByName(j.App)
+	if !ok {
+		s.fail(w, j, fmt.Errorf("sched: bitstream %q not registered on fabric %q", j.App, w.fab.Name))
+		return
+	}
+	j.Reprogrammed = true
+	fast := w.ad.FastClock()
+	toggles := int64(len(w.ad.Hubs()))
+	if toggles == 0 {
+		toggles = 1
+	}
+	// Quiesce: one feature-switch round trip per hub, then the
+	// programming engine (streaming + integrity check), then hub
+	// re-enable, then the configuration settle time.
+	saved := w.ad.QuiesceHubs()
+	s.eng.After(fast.Cycles(toggles*hubToggleCycles), func() {
+		w.ad.ProgramAsync(id, func(err error) {
+			if err != nil {
+				// Restore the pre-quiesce hub state before surfacing the
+				// failure, so the adapter is not left quiesced forever.
+				w.ad.ResumeHubs(saved)
+				s.fail(w, j, err)
+				return
+			}
+			w.reconfigs++
+			// The scheduler owns the adapter while serving: the incoming
+			// tenant is granted every Memory Hub.
+			w.ad.ResumeHubs(^uint64(0))
+			s.eng.After(fast.Cycles(toggles*hubToggleCycles), func() {
+				if app.BS.FmaxMHz > 0 {
+					w.fab.SetFreqMHz(app.BS.FmaxMHz)
+				}
+				s.eng.After(w.fab.Clock().Cycles(s.cfg.SettleCycles), func() {
+					s.serve(w, j, app)
+				})
+			})
+		})
+	})
+}
+
+// serve occupies the fabric for the job's modeled service time.
+func (s *Scheduler) serve(w *worker, j *Job, app *App) {
+	if app.BS.FmaxMHz > 0 && w.fab.Clock().FreqMHz() != app.BS.FmaxMHz {
+		w.fab.SetFreqMHz(app.BS.FmaxMHz)
+	}
+	s.eng.After(w.fab.Clock().Cycles(app.cycles(j.InputSize)), func() {
+		j.Finish = s.eng.Now()
+		w.jobs++
+		s.Completed = append(s.Completed, j)
+		s.release(w)
+	})
+}
+
+// fail records a job that died on its worker and frees the worker.
+func (s *Scheduler) fail(w *worker, j *Job, err error) {
+	j.Err = err
+	j.Finish = s.eng.Now()
+	s.Failed = append(s.Failed, j)
+	s.release(w)
+}
+
+// release returns a worker to the idle pool and re-runs dispatch.
+func (s *Scheduler) release(w *worker) {
+	w.busyTotal += s.eng.Now() - w.busyAt
+	w.busy = false
+	s.dispatch()
+}

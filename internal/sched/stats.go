@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"duet/internal/sim"
+)
+
+// FabricStats summarizes one eFPGA's share of a scheduler run.
+type FabricStats struct {
+	Name        string
+	Jobs        int
+	Reconfigs   int
+	Busy        sim.Time
+	Utilization float64 // Busy / Makespan
+}
+
+// Stats summarizes a scheduler run.
+type Stats struct {
+	Completed, Failed, Rejected int
+	Reconfigs                   int
+	DeadlineMisses              int
+
+	Makespan        sim.Time // latest completion instant
+	ThroughputPerMS float64  // completed jobs per simulated millisecond
+
+	P50, P99    sim.Time // sojourn (submit-to-finish) latency percentiles
+	MeanWait    sim.Time // mean admission-queue wait
+	MeanService sim.Time // mean fabric occupancy
+
+	Fabrics []FabricStats
+}
+
+// Stats computes the run summary at the current instant.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Completed: len(s.Completed),
+		Failed:    len(s.Failed),
+		Rejected:  s.Rejected,
+	}
+	sojourns := make([]sim.Time, 0, len(s.Completed))
+	var waits, services sim.Time
+	for _, j := range s.Completed {
+		sojourns = append(sojourns, j.Sojourn())
+		waits += j.Wait()
+		services += j.Service()
+		if j.Finish > st.Makespan {
+			st.Makespan = j.Finish
+		}
+		if j.MissedDeadline() {
+			st.DeadlineMisses++
+		}
+	}
+	// Failed jobs occupy their fabric too (quiesce + failed stream), so
+	// the makespan — the utilization and throughput denominator — must
+	// cover their finish instants as well.
+	for _, j := range s.Failed {
+		if j.Finish > st.Makespan {
+			st.Makespan = j.Finish
+		}
+	}
+	if n := len(s.Completed); n > 0 {
+		st.MeanWait = waits / sim.Time(n)
+		st.MeanService = services / sim.Time(n)
+		if st.Makespan > 0 {
+			st.ThroughputPerMS = float64(n) / (float64(st.Makespan) / float64(sim.MS))
+		}
+	}
+	st.P50 = Percentile(sojourns, 50)
+	st.P99 = Percentile(sojourns, 99)
+	for _, w := range s.workers {
+		fs := FabricStats{
+			Name: w.fab.Name, Jobs: w.jobs, Reconfigs: w.reconfigs, Busy: w.busyTotal,
+		}
+		if st.Makespan > 0 {
+			fs.Utilization = float64(w.busyTotal) / float64(st.Makespan)
+		}
+		st.Reconfigs += w.reconfigs
+		st.Fabrics = append(st.Fabrics, fs)
+	}
+	return st
+}
+
+// Percentile returns the p-th percentile (nearest-rank) of durs; zero
+// when durs is empty. durs is not modified.
+func Percentile(durs []sim.Time, p float64) sim.Time {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Time(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+
+	"duet"
+	"duet/internal/accel"
+	"duet/internal/efpga"
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// This file implements the accelerator-as-a-service study behind
+// `duetsim serve`: an open-loop, seeded arrival process over the paper's
+// application accelerators, played through internal/sched on a
+// multi-eFPGA Dolly instance. The arrival stream is a deterministic
+// function of the seed, so repeated runs at the same seed produce
+// identical results under every policy.
+
+// ServeConfig parameterizes one serve run.
+type ServeConfig struct {
+	Policy    sched.Policy
+	EFPGAs    int     // fabrics to serve across (default 2)
+	MemHubs   int     // memory hubs per adapter (default 1)
+	Jobs      int     // offered jobs (default 240)
+	Seed      int64   // arrival-process seed (default 1)
+	MeanGapUS float64 // mean inter-arrival gap in microseconds (default 25)
+	QueueCap  int     // admission-queue bound (default sched's 64)
+}
+
+// ServeResult is the outcome of one serve run.
+type ServeResult struct {
+	Policy  sched.Policy
+	Offered int
+	sched.Stats
+}
+
+// serveStub is the inert fabric-side model behind each catalog bitstream:
+// the scheduler models service time analytically, so the accelerator
+// spawns no behavioural threads.
+type serveStub struct{}
+
+func (serveStub) Start(*efpga.Env) {}
+
+// ServeApp is one entry of the multi-tenant catalog: a Table II
+// accelerator plus its per-job cycle model (fixed setup + cycles per
+// input item on the fabric clock at the bitstream's Fmax).
+type ServeApp struct {
+	Name    string
+	Fixed   int64
+	PerItem int64
+}
+
+// ServeApps is the serve study's application mix.
+var ServeApps = []ServeApp{
+	{"Tangent", 32, 1},
+	{"Popcount", 64, 4},
+	{"Sort (32)", 96, 6},
+	{"Dijkstra", 128, 10},
+	{"BFS", 64, 3},
+}
+
+// Serve plays a seeded open-loop workload through the scheduler and
+// reports its statistics.
+func Serve(cfg ServeConfig) ServeResult {
+	if cfg.EFPGAs <= 0 {
+		cfg.EFPGAs = 2
+	}
+	if cfg.MemHubs <= 0 {
+		cfg.MemHubs = 1
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 240
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MeanGapUS <= 0 {
+		cfg.MeanGapUS = 25
+	}
+
+	sys := duet.New(duet.Config{
+		Cores: 1, MemHubs: cfg.MemHubs, EFPGAs: cfg.EFPGAs, Style: duet.StyleDuet,
+	})
+	sch := sys.Scheduler(sched.Config{Policy: cfg.Policy, QueueCap: cfg.QueueCap})
+	for _, a := range ServeApps {
+		bs := accel.Synthesize(a.Name, func() efpga.Accelerator { return serveStub{} })
+		if err := sch.RegisterApp(sched.App{BS: bs, FixedCycles: a.Fixed, CyclesPerItem: a.PerItem}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Open-loop arrivals: exponential gaps, uniform app choice, uniform
+	// input sizes, and a loose exponential deadline slack. All draws
+	// happen here, in submission order, so the stream is a pure function
+	// of the seed.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	at := sim.Time(0)
+	for i := 0; i < cfg.Jobs; i++ {
+		at += sim.Time(rng.ExpFloat64() * cfg.MeanGapUS * float64(sim.US))
+		j := &sched.Job{
+			App:       ServeApps[rng.Intn(len(ServeApps))].Name,
+			InputSize: 64 + rng.Intn(2048),
+			Priority:  rng.Intn(4),
+		}
+		j.Deadline = at + sim.Time((0.2+0.6*rng.ExpFloat64())*float64(sim.MS))
+		sys.Eng.At(at, func() { sch.Submit(j) })
+	}
+	sys.Run()
+	return ServeResult{Policy: cfg.Policy, Offered: cfg.Jobs, Stats: sch.Stats()}
+}

@@ -11,6 +11,7 @@ import (
 	"duet/internal/mmu"
 	"duet/internal/noc"
 	"duet/internal/params"
+	"duet/internal/sched"
 	"duet/internal/sim"
 )
 
@@ -31,7 +32,11 @@ const (
 )
 
 func (s Style) String() string {
-	return [...]string{"cpu-only", "duet", "fpsoc"}[s]
+	names := [...]string{"cpu-only", "duet", "fpsoc"}
+	if s < 0 || int(s) >= len(names) {
+		return "unknown"
+	}
+	return names[s]
 }
 
 // Config describes a Dolly instance (paper §IV: Dolly-PpMm has p
@@ -74,6 +79,8 @@ type System struct {
 	Fabrics  []*efpga.Fabric
 	Adapter  *core.Adapter
 	Fabric   *efpga.Fabric
+
+	scheduler *sched.Scheduler
 
 	next uint64 // bump allocator
 }
@@ -225,28 +232,35 @@ func (s *System) InstallAcceleratorOn(idx int, bs *efpga.Bitstream) error {
 	return nil
 }
 
-// ReadMem64 reads the current coherent value of a 64-bit word — for
-// result checking after a run (dirty cache copies win over memory).
-func (s *System) ReadMem64(addr uint64) uint64 {
+// readMem reads size bytes at addr, little-endian, from the coherent
+// image of the containing cache line (dirty cache copies win over memory).
+func (s *System) readMem(addr uint64, size int) uint64 {
 	line := s.Dom.DebugReadLine(addr &^ (params.LineBytes - 1))
 	off := int(addr % params.LineBytes)
 	var v uint64
-	for i := 0; i < 8; i++ {
+	for i := 0; i < size; i++ {
 		v |= uint64(line[off+i]) << (8 * i)
 	}
 	return v
 }
 
-// ReadMem32 reads the current coherent value of a 32-bit word.
-func (s *System) ReadMem32(addr uint64) uint32 {
-	line := s.Dom.DebugReadLine(addr &^ (params.LineBytes - 1))
-	off := int(addr % params.LineBytes)
-	var v uint32
-	for i := 0; i < 4; i++ {
-		v |= uint32(line[off+i]) << (8 * i)
+// Scheduler returns the system's multi-tenant accelerator-as-a-service
+// scheduler over all configured eFPGAs, creating it with cfg on first
+// use. Subsequent calls return the existing scheduler and ignore cfg.
+// CPU-only systems have no eFPGAs and therefore no scheduler (panics).
+func (s *System) Scheduler(cfg sched.Config) *sched.Scheduler {
+	if s.scheduler == nil {
+		s.scheduler = sched.New(s.Eng, s.Adapters, s.Fabrics, cfg)
 	}
-	return v
+	return s.scheduler
 }
+
+// ReadMem64 reads the current coherent value of a 64-bit word — for
+// result checking after a run.
+func (s *System) ReadMem64(addr uint64) uint64 { return s.readMem(addr, 8) }
+
+// ReadMem32 reads the current coherent value of a 32-bit word.
+func (s *System) ReadMem32(addr uint64) uint32 { return uint32(s.readMem(addr, 4)) }
 
 // Run drains the event queue. It returns the final simulation time.
 func (s *System) Run() sim.Time {
@@ -312,19 +326,55 @@ func EnableHub(p cpu.Proc, hub int, fwdInv, atomics, virtMode bool) {
 	p.MMIOWrite64(HubSwitchAddr(hub, core.SwEnable), 1)
 }
 
+// ProgStatus is the outcome of a programming-flow poll loop.
+type ProgStatus int
+
+// Programming-flow outcomes.
+const (
+	// ProgOK: the engine verified and installed the bitstream.
+	ProgOK ProgStatus = iota
+	// ProgFailed: the engine reported a programming error.
+	ProgFailed
+	// ProgWedged: the engine reached neither ready nor error within the
+	// poll bound (a wedged programming engine must not hang the host).
+	ProgWedged
+)
+
+func (s ProgStatus) String() string {
+	names := [...]string{"ok", "failed", "wedged"}
+	if s < 0 || int(s) >= len(names) {
+		return "unknown"
+	}
+	return names[s]
+}
+
+// maxProgramPolls bounds the Program/ProgramStatus poll loop. Each poll
+// costs ~50 core cycles plus the MMIO round trip, so the bound covers
+// configuration images orders of magnitude larger than any modeled fabric
+// while still terminating against a wedged engine.
+const maxProgramPolls = 4096
+
 // Program runs the MMIO programming flow for a registered bitstream and
 // polls until the engine reports ready or error. It returns false on
-// programming failure.
+// programming failure, including a wedged engine that never resolves
+// within the poll bound (ProgramStatus distinguishes the cases).
 func Program(p cpu.Proc, bitstreamID int) bool {
+	return ProgramStatus(p, bitstreamID) == ProgOK
+}
+
+// ProgramStatus runs the MMIO programming flow and reports the distinct
+// outcome: ok, failed, or wedged (poll bound exhausted).
+func ProgramStatus(p cpu.Proc, bitstreamID int) ProgStatus {
 	p.MMIOWrite64(MgrRegAddr(core.RegProgram), uint64(bitstreamID))
-	for {
+	for i := 0; i < maxProgramPolls; i++ {
 		st := p.MMIORead64(MgrRegAddr(core.RegStatus)) & 0xff
 		if st == core.StatusReady {
-			return true
+			return ProgOK
 		}
 		if st == core.StatusError {
-			return false
+			return ProgFailed
 		}
 		p.Exec(50)
 	}
+	return ProgWedged
 }

@@ -656,3 +656,91 @@ func TestMultiHubSystem(t *testing.T) {
 		t.Fatalf("cross-hub copy = %d", got)
 	}
 }
+
+func TestStyleStringBounds(t *testing.T) {
+	if got := Style(99).String(); got != "unknown" {
+		t.Fatalf("Style(99) = %q, want unknown", got)
+	}
+	if got := Style(-1).String(); got != "unknown" {
+		t.Fatalf("Style(-1) = %q, want unknown", got)
+	}
+	if got := StyleDuet.String(); got != "duet" {
+		t.Fatalf("StyleDuet = %q", got)
+	}
+}
+
+// TestProgramPollBound: a programming engine that stays busy past the
+// poll bound must fail the poll loop with a distinct wedged status
+// instead of spinning forever.
+func TestProgramPollBound(t *testing.T) {
+	sys := New(Config{Cores: 1, MemHubs: 1, Style: StyleDuet})
+	// A huge configuration image streams for ~1M fast cycles — far past
+	// the poll bound — so the engine reports neither ready nor error
+	// while the host is polling.
+	slow := &efpga.Bitstream{
+		Name:    "glacial",
+		Image:   make([]byte, 16<<20),
+		Factory: func() efpga.Accelerator { return accelFunc(func(*efpga.Env) {}) },
+	}
+	slow.CRC = slow.Checksum()
+	id := sys.Fabric.Register(slow)
+	var st ProgStatus
+	sys.Cores[0].Run("host", func(p cpu.Proc) {
+		st = ProgramStatus(p, id)
+	})
+	sys.Run()
+	if st != ProgWedged {
+		t.Fatalf("poll status = %v, want %v", st, ProgWedged)
+	}
+	// The background stream still completes after the host gives up.
+	if sys.Fabric.Current() != slow {
+		t.Fatal("bitstream never configured")
+	}
+}
+
+// TestOnAccelStartHook: the adapter-wide start notification must fire on
+// every start path — direct install and the MMIO programming flow.
+func TestOnAccelStartHook(t *testing.T) {
+	sys := New(Config{Cores: 1, MemHubs: 1, Style: StyleDuet})
+	var started []string
+	sys.Adapter.OnAccelStart = func(bs *efpga.Bitstream) { started = append(started, bs.Name) }
+	bs := efpga.Synthesize(efpga.Design{Name: "hooked", LUTLogic: 20, PipelineDepth: 2},
+		func() efpga.Accelerator { return accelFunc(func(*efpga.Env) {}) })
+	if err := sys.InstallAccelerator(bs); err != nil {
+		t.Fatal(err)
+	}
+	var prog bool
+	sys.Cores[0].Run("host", func(p cpu.Proc) {
+		prog = Program(p, 0) // reprogram the same image over MMIO
+	})
+	sys.Run()
+	if !prog {
+		t.Fatal("programming failed")
+	}
+	if len(started) != 2 || started[0] != "hooked" || started[1] != "hooked" {
+		t.Fatalf("OnAccelStart fired %v, want twice for %q", started, "hooked")
+	}
+}
+
+// TestProgramAsyncBusyRejected: starting a second programming flow while
+// one is streaming must be rejected without disturbing the first.
+func TestProgramAsyncBusyRejected(t *testing.T) {
+	sys := New(Config{Cores: 1, MemHubs: 1, Style: StyleDuet})
+	bs := efpga.Synthesize(efpga.Design{Name: "solo", LUTLogic: 20, PipelineDepth: 2},
+		func() efpga.Accelerator { return accelFunc(func(*efpga.Env) {}) })
+	id := sys.Fabric.Register(bs)
+	var firstErr, secondErr error
+	firstDone := false
+	sys.Adapter.ProgramAsync(id, func(err error) { firstDone = true; firstErr = err })
+	sys.Adapter.ProgramAsync(id, func(err error) { secondErr = err })
+	sys.Run()
+	if !firstDone || firstErr != nil {
+		t.Fatalf("first flow: done=%v err=%v", firstDone, firstErr)
+	}
+	if secondErr == nil {
+		t.Fatal("concurrent programming flow was not rejected")
+	}
+	if sys.Fabric.Current() != bs {
+		t.Fatal("first flow did not configure the fabric")
+	}
+}
