@@ -14,6 +14,8 @@ import (
 	"duet/internal/accel"
 	"duet/internal/apps"
 	"duet/internal/area"
+	"duet/internal/cluster"
+	"duet/internal/sched"
 	"duet/internal/sim"
 	"duet/internal/workload"
 )
@@ -173,6 +175,31 @@ func BenchmarkFig12_BFS16(b *testing.B) {
 	benchFig12(b, apps.Benchmark{Name: "bfs/16", Run: func(v apps.Variant) apps.Result {
 		return apps.RunBFS(v, apps.BFSConfig{Cores: 16, Nodes: 256, AvgDegree: 4, Seed: 13})
 	}})
+}
+
+// BenchmarkServeCluster measures the sharded serve farm (internal/cluster)
+// against the single-System scheduler baseline on the same offered load: a
+// saturating seeded stream (5us mean gap — several times one System's
+// service capacity) played through 1 System and through 4 shards behind a
+// least-outstanding front end. The scaling-x metric is the acceptance bar:
+// 4 shards must deliver >2x the 1-shard job throughput.
+func BenchmarkServeCluster(b *testing.B) {
+	cfg := workload.ServeConfig{Policy: sched.Affinity, Jobs: 320, Seed: 1, MeanGapUS: 5, QueueCap: 1024}
+	var base workload.ServeResult
+	var sharded workload.ClusterResult
+	for i := 0; i < b.N; i++ {
+		base = workload.Serve(cfg)
+		r, err := workload.ServeCluster(workload.ClusterConfig{
+			ServeConfig: cfg, Shards: 4, FrontEnd: cluster.LeastOutstanding,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharded = r
+	}
+	b.ReportMetric(base.ThroughputPerMS, "jobs/ms-1shard")
+	b.ReportMetric(sharded.Merged.ThroughputPerMS, "jobs/ms-4shard")
+	b.ReportMetric(sharded.Merged.ThroughputPerMS/base.ThroughputPerMS, "scaling-x")
 }
 
 // --- Ablation benches (design choices DESIGN.md calls out) -----------------

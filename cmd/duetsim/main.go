@@ -9,6 +9,7 @@
 //	duetsim fig11           # per-processor bandwidth vs contention
 //	duetsim fig12           # application speedups and ADP
 //	duetsim serve           # multi-tenant accelerator-as-a-service study
+//	duetsim cluster         # sharded serve farm across N Duet replicas
 //	duetsim all             # the paper's tables and figures above
 //
 // Absolute numbers come from this repository's cycle-level models; the
@@ -20,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"duet/internal/accel"
 	"duet/internal/apps"
 	"duet/internal/area"
+	"duet/internal/cluster"
 	"duet/internal/sched"
 	"duet/internal/sim"
 	"duet/internal/workload"
@@ -32,11 +35,28 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (faster, less stable numbers)")
-	seed := flag.Int64("seed", 1, "serve: arrival-process seed")
-	jobs := flag.Int("jobs", 240, "serve: offered jobs")
-	efpgas := flag.Int("efpgas", 2, "serve: number of eFPGAs")
+	seed := flag.Int64("seed", 1, "serve/cluster: arrival-process seed")
+	jobs := flag.Int("jobs", 240, "serve/cluster: offered jobs")
+	efpgas := flag.Int("efpgas", 2, "serve/cluster: number of eFPGAs (per shard)")
+	shards := flag.Int("shards", 4, "cluster: number of Duet replicas")
 	flag.Parse()
-	cmds := flag.Args()
+	// Accept flags after command words too (`duetsim cluster -shards 4`):
+	// re-parse whenever a flag-like token follows a command. Flags apply
+	// globally, wherever they appear.
+	var cmds []string
+	for args := flag.Args(); len(args) > 0; {
+		// A lone "-" is not a flag (Parse would leave it unconsumed and
+		// loop forever); let it fall through as an unknown command.
+		if strings.HasPrefix(args[0], "-") && args[0] != "-" {
+			if err := flag.CommandLine.Parse(args); err != nil {
+				os.Exit(2)
+			}
+			args = flag.Args()
+			continue
+		}
+		cmds = append(cmds, args[0])
+		args = args[1:]
+	}
 	if len(cmds) == 0 {
 		usage()
 		os.Exit(2)
@@ -59,6 +79,8 @@ func main() {
 			ablations()
 		case "serve":
 			serve(*seed, *jobs, *efpgas)
+		case "cluster":
+			clusterStudy(*seed, *jobs, *efpgas, *shards)
 		case "all":
 			table1()
 			table2()
@@ -75,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] {table1|table2|fig9|fig10|fig11|fig12|ablations|serve|all}...")
+	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] {table1|table2|fig9|fig10|fig11|fig12|ablations|serve|cluster|all}...")
 }
 
 func header(title string) {
@@ -217,6 +239,62 @@ func serve(seed int64, jobs, efpgas int) {
 	}
 	w.Flush()
 	fmt.Println("Reuse-aware placement avoids reprogramming; output is byte-identical per seed.")
+}
+
+func clusterStudy(seed int64, jobs, efpgas, shards int) {
+	header(fmt.Sprintf("Cluster: sharded serve farm (%d jobs, %d shards x %d eFPGAs, seed %d)",
+		jobs, shards, efpgas, seed))
+	run := func(sh int, fe cluster.FrontEnd, p sched.Policy, gapUS float64, queueCap int) workload.ClusterResult {
+		r, err := workload.ServeCluster(workload.ClusterConfig{
+			ServeConfig: workload.ServeConfig{Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, MeanGapUS: gapUS, QueueCap: queueCap},
+			Shards:      sh,
+			FrontEnd:    fe,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+			os.Exit(1)
+		}
+		return r
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Front end\tPolicy\tCompleted\tRejected\tThroughput\tp50\tp99\tMean wait\tReconfigs\tMissed DL\tShard jobs")
+	for fe := cluster.FrontEnd(0); fe < cluster.NumFrontEnds; fe++ {
+		for p := sched.Policy(0); p < sched.NumPolicies; p++ {
+			r := run(shards, fe, p, 0, 0)
+			perShard := ""
+			for i, s := range r.PerShard {
+				if i > 0 {
+					perShard += "/"
+				}
+				perShard += fmt.Sprintf("%d", s.Stats.Completed)
+			}
+			m := r.Merged
+			fmt.Fprintf(w, "%s\t%s\t%d/%d\t%d\t%.2f jobs/ms\t%v\t%v\t%v\t%d\t%d\t%s\n",
+				r.FrontEnd, r.Policy, m.Completed, r.Offered, m.Rejected, m.ThroughputPerMS,
+				m.P50, m.P99, m.MeanWait, m.Reconfigs, m.DeadlineMisses, perShard)
+		}
+	}
+	w.Flush()
+
+	// The scaling sweep drives a saturating offered load (5us mean gap,
+	// deep admission queue): at the default gap one shard already keeps
+	// up with arrivals, so added capacity would only show up in latency.
+	fmt.Println("\nThroughput scaling under saturating load (5us mean gap; affinity scheduling, least-outstanding front end):")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Shards\tThroughput\tp99\tSpeedup")
+	var base float64
+	for sh := 1; sh <= shards; sh *= 2 {
+		r := run(sh, cluster.LeastOutstanding, sched.Affinity, 5, 1024)
+		if sh == 1 {
+			base = r.Merged.ThroughputPerMS
+		}
+		fmt.Fprintf(w, "%d\t%.2f jobs/ms\t%v\t%.2fx\n",
+			sh, r.Merged.ThroughputPerMS, r.Merged.P99, r.Merged.ThroughputPerMS/base)
+	}
+	w.Flush()
+	fmt.Println("Per (seed, shards, front end, policy) the table is byte-identical across runs;")
+	fmt.Println("a 1-shard cluster reproduces `duetsim serve` exactly.")
 }
 
 func ablations() {

@@ -1,0 +1,174 @@
+// Package cluster shards the accelerator-as-a-service runtime across many
+// independent Duet replicas — the scale axis past a single System. Each
+// shard is a complete simulated instance (its own sim.Engine, adapters,
+// fabrics, and sched.Scheduler); shards run concurrently on real
+// goroutines, one replica per goroutine, joined errgroup-style (all
+// goroutines complete, first error wins).
+//
+// Determinism contract: a cluster run is byte-identical per
+// (seed, shards, front end) regardless of goroutine interleaving.
+// Three properties deliver it:
+//
+//  1. The arrival stream is generated up front as a pure function of the
+//     seed, and the front end splits it across shards in a sequential
+//     pre-pass (see frontend.go) — routing never observes live shard
+//     state, only the catalog's analytic model.
+//  2. Each shard's simulation is a deterministic discrete-event run over
+//     an engine nothing else touches; per-shard seeds are derived from
+//     the cluster seed (ShardSeed) for any replica-local draws.
+//  3. Per-shard results are merged in shard-index order with exact
+//     latency-quantile merging: the raw per-job sojourn samples are
+//     pooled and ranked over the whole population, never approximated
+//     from pre-binned per-shard percentiles (see stats.go).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// Replica is one shard: a fully independent simulated Duet instance with
+// its scheduler. Run drains the replica's event queue and returns any
+// model-level validation error (e.g. a failed coherence check).
+type Replica struct {
+	Eng *sim.Engine
+	Sch *sched.Scheduler
+	Run func() error
+}
+
+// Arrival is one job offered to the cluster front end at absolute
+// simulated time At. The Job is held by value: the front end hands each
+// shard its own copy, so shards never share job state.
+type Arrival struct {
+	At  sim.Time
+	Job sched.Job
+}
+
+// Config parameterizes one cluster run.
+type Config struct {
+	Shards   int      // independent replicas (default 1)
+	FrontEnd FrontEnd // arrival-stream routing policy
+	Seed     int64    // cluster seed; per-shard seeds derive from it
+
+	// NewReplica builds shard i with its derived seed. Every shard must
+	// register the same application catalog (the front end routes by the
+	// catalog model of shard 0). Construction runs sequentially, in
+	// shard order, before any goroutine starts.
+	NewReplica func(shard int, seed int64) (*Replica, error)
+}
+
+// ShardSeed derives shard i's seed from the cluster seed with a
+// splitmix64 finalizer, so adjacent shards draw unrelated streams.
+func ShardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + uint64(shard+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ShardResult is one shard's share of a cluster run.
+type ShardResult struct {
+	Shard    int
+	Seed     int64
+	Assigned int // arrivals routed to this shard
+	Stats    sched.Stats
+
+	// Sojourns holds every completed job's submit-to-finish latency in
+	// completion order — the raw samples behind exact merged quantiles.
+	Sojourns []sim.Time
+	// WaitSum and ServiceSum are exact sums over completed jobs, kept so
+	// merged means are computed from totals rather than re-divided
+	// per-shard means.
+	WaitSum, ServiceSum sim.Time
+}
+
+// Result is the outcome of one cluster run.
+type Result struct {
+	Shards   int
+	FrontEnd FrontEnd
+	Offered  int
+	Merged   sched.Stats
+	PerShard []ShardResult
+}
+
+// Run plays the arrival stream through a sharded serve farm: it builds
+// Shards replicas, splits the stream with the configured front end, runs
+// every shard concurrently to completion, and merges the results.
+func Run(cfg Config, stream []Arrival) (Result, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.FrontEnd < 0 || cfg.FrontEnd >= NumFrontEnds {
+		return Result{}, fmt.Errorf("cluster: unknown front end %d", cfg.FrontEnd)
+	}
+	if cfg.NewReplica == nil {
+		return Result{}, fmt.Errorf("cluster: Config.NewReplica is required")
+	}
+	reps := make([]*Replica, cfg.Shards)
+	seeds := make([]int64, cfg.Shards)
+	for i := range reps {
+		seeds[i] = ShardSeed(cfg.Seed, i)
+		r, err := cfg.NewReplica(i, seeds[i])
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		if r == nil || r.Eng == nil || r.Sch == nil || r.Run == nil {
+			return Result{}, fmt.Errorf("cluster: shard %d: replica needs Eng, Sch and Run", i)
+		}
+		reps[i] = r
+	}
+	assigned := split(cfg.Shards, cfg.FrontEnd, reps[0].Sch, stream)
+
+	// One replica per goroutine; errgroup-style join (every shard runs to
+	// completion, the lowest-indexed error is reported). Each goroutine
+	// touches only its own shard's engine and result slot, so the merge
+	// after Wait observes a deterministic state.
+	results := make([]ShardResult, cfg.Shards)
+	errs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for i := range reps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = runShard(i, seeds[i], reps[i], assigned[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	res := Result{
+		Shards:   cfg.Shards,
+		FrontEnd: cfg.FrontEnd,
+		Offered:  len(stream),
+		PerShard: results,
+	}
+	res.Merged = Merge(results)
+	return res, nil
+}
+
+// runShard plays one shard's sub-stream through its replica, harvesting
+// per-job results through the scheduler's OnResult drain hook.
+func runShard(shard int, seed int64, r *Replica, arrivals []Arrival) (ShardResult, error) {
+	sr := ShardResult{Shard: shard, Seed: seed, Assigned: len(arrivals)}
+	r.Sch.OnResult = func(j *sched.Job) {
+		if j.Err != nil {
+			return
+		}
+		sr.Sojourns = append(sr.Sojourns, j.Sojourn())
+		sr.WaitSum += j.Wait()
+		sr.ServiceSum += j.Service()
+	}
+	for _, a := range arrivals {
+		job := a.Job
+		r.Eng.At(a.At, func() { r.Sch.Submit(&job) })
+	}
+	err := r.Run()
+	sr.Stats = r.Sch.Stats()
+	return sr, err
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// FrontEnd selects how the cluster front end routes arriving jobs to
+// shards. Every policy is a deterministic, sequential pre-pass over the
+// arrival stream — routing decisions depend only on the stream, the shard
+// count, and the catalog's analytic service model, never on live shard
+// state, which is what keeps multi-shard runs byte-identical regardless
+// of goroutine interleaving.
+type FrontEnd int
+
+// Front-end policies.
+const (
+	// HashApp routes by a stable hash of the job's application name:
+	// all of an app's jobs land on one shard, so each shard's fabrics
+	// cycle through a small bitstream subset (bitstream affinity).
+	HashApp FrontEnd = iota
+	// RoundRobin deals jobs across shards in arrival order.
+	RoundRobin
+	// LeastOutstanding routes each job to the shard with the fewest
+	// jobs still outstanding under the front end's analytic model of
+	// shard occupancy (ties go to the lowest shard id).
+	LeastOutstanding
+	NumFrontEnds
+)
+
+func (f FrontEnd) String() string {
+	names := [...]string{"hash-app", "round-robin", "least-outstanding"}
+	if f < 0 || int(f) >= len(names) {
+		return "unknown"
+	}
+	return names[f]
+}
+
+// FrontEndByName parses a front-end name as printed by String.
+func FrontEndByName(name string) (FrontEnd, error) {
+	for f := FrontEnd(0); f < NumFrontEnds; f++ {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown front end %q", name)
+}
+
+// split assigns the arrival stream to shards under the chosen policy.
+// model is the catalog of shard 0 (all shards register the same apps).
+func split(shards int, fe FrontEnd, model *sched.Scheduler, stream []Arrival) [][]Arrival {
+	out := make([][]Arrival, shards)
+	switch fe {
+	case RoundRobin:
+		for i, a := range stream {
+			s := i % shards
+			out[s] = append(out[s], a)
+		}
+	case LeastOutstanding:
+		lo := newLoadModel(shards, model)
+		for _, a := range stream {
+			s := lo.route(a)
+			out[s] = append(out[s], a)
+		}
+	default: // HashApp
+		for _, a := range stream {
+			s := int(hashApp(a.Job.App) % uint32(shards))
+			out[s] = append(out[s], a)
+		}
+	}
+	return out
+}
+
+func hashApp(app string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(app))
+	return h.Sum32()
+}
+
+// loadModel is the least-outstanding front end's analytic view of shard
+// occupancy: each shard is modeled as Workers() virtual fabrics serving
+// jobs for their catalog-predicted occupancy, FIFO per fabric. It tracks,
+// per shard, when each virtual fabric frees up and the predicted finish
+// times of in-flight jobs.
+type loadModel struct {
+	model  *sched.Scheduler
+	shards []loadShard
+}
+
+type loadShard struct {
+	free     []sim.Time // per-virtual-fabric earliest-free estimate
+	finishes []sim.Time // predicted finish of jobs assigned but not yet done
+}
+
+func newLoadModel(shards int, model *sched.Scheduler) *loadModel {
+	lm := &loadModel{model: model, shards: make([]loadShard, shards)}
+	for i := range lm.shards {
+		lm.shards[i].free = make([]sim.Time, model.Workers())
+	}
+	return lm
+}
+
+// route picks the shard with the fewest outstanding jobs at a.At and
+// charges the job's predicted occupancy to that shard's earliest-free
+// virtual fabric.
+func (lm *loadModel) route(a Arrival) int {
+	best, bestOut := 0, -1
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		live := sh.finishes[:0]
+		for _, f := range sh.finishes {
+			if f > a.At {
+				live = append(live, f)
+			}
+		}
+		sh.finishes = live
+		if bestOut < 0 || len(sh.finishes) < bestOut {
+			best, bestOut = i, len(sh.finishes)
+		}
+	}
+	sh := &lm.shards[best]
+	fab := 0
+	for i, f := range sh.free {
+		if f < sh.free[fab] {
+			fab = i
+		}
+	}
+	start := a.At
+	if sh.free[fab] > start {
+		start = sh.free[fab]
+	}
+	svc, _ := lm.model.Predict(a.Job.App, a.Job.InputSize)
+	fin := start + svc
+	sh.free[fab] = fin
+	sh.finishes = append(sh.finishes, fin)
+	return best
+}

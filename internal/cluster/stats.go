@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// Merge folds per-shard results into one cluster-wide sched.Stats.
+//
+// Counters sum; the makespan is the latest completion instant across
+// shards (every shard simulates the same global arrival timeline, so the
+// axes line up); throughput and means are recomputed from exact totals.
+// Latency quantiles are merged exactly: the per-job sojourn samples of
+// every shard are pooled and ranked over the full population — merging
+// pre-binned per-shard p50/p99 values would be approximate and
+// order-dependent, pooling raw samples is neither.
+//
+// With a single shard the merge is the identity on its Stats, which is
+// what ties the cluster's determinism contract back to workload.Serve.
+func Merge(shards []ShardResult) sched.Stats {
+	var m sched.Stats
+	var sojourns []sim.Time
+	var waits, services sim.Time
+	for _, s := range shards {
+		m.Completed += s.Stats.Completed
+		m.Failed += s.Stats.Failed
+		m.Rejected += s.Stats.Rejected
+		m.Reconfigs += s.Stats.Reconfigs
+		m.DeadlineMisses += s.Stats.DeadlineMisses
+		if s.Stats.Makespan > m.Makespan {
+			m.Makespan = s.Stats.Makespan
+		}
+		sojourns = append(sojourns, s.Sojourns...)
+		waits += s.WaitSum
+		services += s.ServiceSum
+	}
+	if m.Completed > 0 {
+		m.MeanWait = waits / sim.Time(m.Completed)
+		m.MeanService = services / sim.Time(m.Completed)
+		if m.Makespan > 0 {
+			m.ThroughputPerMS = float64(m.Completed) / (float64(m.Makespan) / float64(sim.MS))
+		}
+	}
+	m.P50 = sched.Percentile(sojourns, 50)
+	m.P99 = sched.Percentile(sojourns, 99)
+	for si, s := range shards {
+		for _, f := range s.Stats.Fabrics {
+			if len(shards) > 1 {
+				// Prefix fabric names with their shard and rebase
+				// utilization onto the cluster-wide makespan so every row
+				// shares one denominator. Single-shard merges keep the
+				// shard's own view, exactly matching a plain Serve run.
+				f.Name = fmt.Sprintf("s%d/%s", si, f.Name)
+				if m.Makespan > 0 {
+					f.Utilization = float64(f.Busy) / float64(m.Makespan)
+				}
+			}
+			m.Fabrics = append(m.Fabrics, f)
+		}
+	}
+	return m
+}

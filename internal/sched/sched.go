@@ -132,6 +132,13 @@ type Scheduler struct {
 	Completed []*Job
 	Failed    []*Job // unknown app, over-capacity bitstream, programming error
 	Rejected  int    // bounced by the full admission queue
+
+	// OnResult, when set, is invoked at each job's finish instant — once
+	// per completed or failed job, in completion order — so a front end
+	// (e.g. internal/cluster) can harvest results without reaching into
+	// the scheduler's ledgers. Jobs bounced by the admission queue never
+	// started and are not reported.
+	OnResult func(*Job)
 }
 
 // New builds a scheduler over the given adapters and fabrics (one worker
@@ -187,11 +194,25 @@ func (s *Scheduler) Apps() []string { return append([]string(nil), s.appList...)
 // QueueLen reports the current admission-queue depth.
 func (s *Scheduler) QueueLen() int { return len(s.queue) }
 
+// Workers reports the number of eFPGA workers (adapter/fabric pairs).
+func (s *Scheduler) Workers() int { return len(s.workers) }
+
+// Predict estimates the fabric occupancy of one job of the named app with
+// the given input size — the catalog's analytic model, the same estimate
+// SJF ranks by. ok is false for unregistered apps.
+func (s *Scheduler) Predict(app string, inputSize int) (est sim.Time, ok bool) {
+	a, ok := s.apps[app]
+	if !ok {
+		return 0, false
+	}
+	return sim.Time(a.cycles(inputSize)) * a.period, true
+}
+
 // predict estimates a job's fabric occupancy from the catalog model (used
 // by SJF and for deadline admission by callers).
 func (s *Scheduler) predict(j *Job) sim.Time {
-	app := s.apps[j.App]
-	return sim.Time(app.cycles(j.InputSize)) * app.period
+	est, _ := s.Predict(j.App, j.InputSize)
+	return est
 }
 
 // Submit offers a job to the scheduler at the current simulation time. It
@@ -205,7 +226,11 @@ func (s *Scheduler) Submit(j *Job) bool {
 	app, ok := s.apps[j.App]
 	if !ok {
 		j.Err = fmt.Errorf("sched: unknown app %q", j.App)
+		j.Finish = s.eng.Now() // dies at submit: zero-length lifetime
 		s.Failed = append(s.Failed, j)
+		if s.OnResult != nil {
+			s.OnResult(j)
+		}
 		return false
 	}
 	fits := false
@@ -217,7 +242,11 @@ func (s *Scheduler) Submit(j *Job) bool {
 	}
 	if !fits {
 		j.Err = fmt.Errorf("sched: bitstream %q (%+v) exceeds every fabric's capacity", j.App, app.BS.Res)
+		j.Finish = s.eng.Now() // dies at submit: zero-length lifetime
 		s.Failed = append(s.Failed, j)
+		if s.OnResult != nil {
+			s.OnResult(j)
+		}
 		return false
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
@@ -311,6 +340,9 @@ func (s *Scheduler) serve(w *worker, j *Job, app *App) {
 		j.Finish = s.eng.Now()
 		w.jobs++
 		s.Completed = append(s.Completed, j)
+		if s.OnResult != nil {
+			s.OnResult(j)
+		}
 		s.release(w)
 	})
 }
@@ -320,6 +352,9 @@ func (s *Scheduler) fail(w *worker, j *Job, err error) {
 	j.Err = err
 	j.Finish = s.eng.Now()
 	s.Failed = append(s.Failed, j)
+	if s.OnResult != nil {
+		s.OnResult(j)
+	}
 	s.release(w)
 }
 

@@ -6,6 +6,7 @@ import (
 	"duet"
 	"duet/internal/efpga"
 	"duet/internal/sched"
+	"duet/internal/sim"
 )
 
 // stubAccel is an inert fabric-side model: scheduler tests exercise
@@ -258,5 +259,71 @@ func TestProgrammingFailureRestoresHubs(t *testing.T) {
 	st := sch.Stats()
 	if st.Completed != 2 || st.Failed != 1 || again.Finish == 0 {
 		t.Fatalf("completed=%d failed=%d finish=%v after recovery", st.Completed, st.Failed, again.Finish)
+	}
+}
+
+// TestPredictAndWorkers: the exported catalog model must match the
+// occupancy SJF ranks by — FixedCycles + n*CyclesPerItem fabric cycles at
+// the bitstream's Fmax — and reject unknown apps; Workers reports the
+// eFPGA pool size the cluster front end plans against.
+func TestPredictAndWorkers(t *testing.T) {
+	sys, sch := newServeSystem(t, 3, sched.Config{Policy: sched.SJF})
+	_ = sys
+	if sch.Workers() != 3 {
+		t.Fatalf("workers = %d, want 3", sch.Workers())
+	}
+	bs := mkBitstream("model", efpga.Resources{LUTs: 10}, 100) // 100 MHz -> 10ns period
+	if err := sch.RegisterApp(sched.App{BS: bs, FixedCycles: 50, CyclesPerItem: 2}); err != nil {
+		t.Fatal(err)
+	}
+	est, ok := sch.Predict("model", 25)
+	if !ok {
+		t.Fatal("registered app not predictable")
+	}
+	// (50 + 25*2) cycles * 10ns = 1us.
+	if want := sim.Time(1 * sim.US); est != want {
+		t.Fatalf("predicted occupancy = %v, want %v", est, want)
+	}
+	if _, ok := sch.Predict("phantom", 1); ok {
+		t.Fatal("unknown app predicted")
+	}
+}
+
+// TestOnResultDrain: the result hook must fire once per completed or
+// failed job at its finish instant, in completion order, and never for
+// queue-capacity rejections.
+func TestOnResultDrain(t *testing.T) {
+	sys, sch := newServeSystem(t, 1, sched.Config{Policy: sched.FIFO, QueueCap: 1})
+	bs := mkBitstream("drain", efpga.Resources{LUTs: 10}, 100)
+	if err := sch.RegisterApp(sched.App{BS: bs, FixedCycles: 1000, CyclesPerItem: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var drained []*sched.Job
+	var finishes []sim.Time
+	sch.OnResult = func(j *sched.Job) {
+		drained = append(drained, j)
+		finishes = append(finishes, sys.Eng.Now())
+	}
+	sch.Submit(&sched.Job{App: "drain", InputSize: 4})   // served immediately
+	sch.Submit(&sched.Job{App: "phantom", InputSize: 4}) // fails at submit
+	sch.Submit(&sched.Job{App: "drain", InputSize: 4})   // queued
+	sch.Submit(&sched.Job{App: "drain", InputSize: 4})   // bounced: queue full
+	sys.Run()
+	if len(drained) != 3 {
+		t.Fatalf("hook fired %d times, want 3 (2 completed + 1 failed, rejection silent)", len(drained))
+	}
+	if sch.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", sch.Rejected)
+	}
+	for i, j := range drained {
+		if j.Finish != finishes[i] {
+			t.Fatalf("hook %d fired at %v, job finished at %v", i, finishes[i], j.Finish)
+		}
+		if i > 0 && finishes[i] < finishes[i-1] {
+			t.Fatalf("hook out of completion order: %v after %v", finishes[i], finishes[i-1])
+		}
+	}
+	if len(sch.Completed) != 2 || len(sch.Failed) != 1 {
+		t.Fatalf("ledgers: %d completed, %d failed", len(sch.Completed), len(sch.Failed))
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"duet"
 	"duet/internal/accel"
+	"duet/internal/cluster"
 	"duet/internal/efpga"
 	"duet/internal/sched"
 	"duet/internal/sim"
@@ -60,9 +61,8 @@ var ServeApps = []ServeApp{
 	{"BFS", 64, 3},
 }
 
-// Serve plays a seeded open-loop workload through the scheduler and
-// reports its statistics.
-func Serve(cfg ServeConfig) ServeResult {
+// withDefaults returns cfg with the study's default parameters applied.
+func (cfg ServeConfig) withDefaults() ServeConfig {
 	if cfg.EFPGAs <= 0 {
 		cfg.EFPGAs = 2
 	}
@@ -78,7 +78,13 @@ func Serve(cfg ServeConfig) ServeResult {
 	if cfg.MeanGapUS <= 0 {
 		cfg.MeanGapUS = 25
 	}
+	return cfg
+}
 
+// newServeSystem builds one Dolly instance with the full serve catalog
+// registered — a single-shard serve replica. cfg must have defaults
+// applied.
+func newServeSystem(cfg ServeConfig) (*duet.System, *sched.Scheduler, error) {
 	sys := duet.New(duet.Config{
 		Cores: 1, MemHubs: cfg.MemHubs, EFPGAs: cfg.EFPGAs, Style: duet.StyleDuet,
 	})
@@ -86,25 +92,45 @@ func Serve(cfg ServeConfig) ServeResult {
 	for _, a := range ServeApps {
 		bs := accel.Synthesize(a.Name, func() efpga.Accelerator { return serveStub{} })
 		if err := sch.RegisterApp(sched.App{BS: bs, FixedCycles: a.Fixed, CyclesPerItem: a.PerItem}); err != nil {
-			panic(err)
+			return nil, nil, err
 		}
 	}
+	return sys, sch, nil
+}
 
-	// Open-loop arrivals: exponential gaps, uniform app choice, uniform
-	// input sizes, and a loose exponential deadline slack. All draws
-	// happen here, in submission order, so the stream is a pure function
-	// of the seed.
+// serveArrivals generates the study's open-loop arrival stream:
+// exponential gaps, uniform app choice, uniform input sizes, and a loose
+// exponential deadline slack. All draws happen here, in submission order,
+// so the stream is a pure function of cfg — the root of both Serve's and
+// ServeCluster's determinism contracts. cfg must have defaults applied.
+func serveArrivals(cfg ServeConfig) []cluster.Arrival {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	at := sim.Time(0)
+	arrivals := make([]cluster.Arrival, 0, cfg.Jobs)
 	for i := 0; i < cfg.Jobs; i++ {
 		at += sim.Time(rng.ExpFloat64() * cfg.MeanGapUS * float64(sim.US))
-		j := &sched.Job{
+		j := sched.Job{
 			App:       ServeApps[rng.Intn(len(ServeApps))].Name,
 			InputSize: 64 + rng.Intn(2048),
 			Priority:  rng.Intn(4),
 		}
 		j.Deadline = at + sim.Time((0.2+0.6*rng.ExpFloat64())*float64(sim.MS))
-		sys.Eng.At(at, func() { sch.Submit(j) })
+		arrivals = append(arrivals, cluster.Arrival{At: at, Job: j})
+	}
+	return arrivals
+}
+
+// Serve plays a seeded open-loop workload through the scheduler and
+// reports its statistics.
+func Serve(cfg ServeConfig) ServeResult {
+	cfg = cfg.withDefaults()
+	sys, sch, err := newServeSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range serveArrivals(cfg) {
+		job := a.Job
+		sys.Eng.At(a.At, func() { sch.Submit(&job) })
 	}
 	sys.Run()
 	return ServeResult{Policy: cfg.Policy, Offered: cfg.Jobs, Stats: sch.Stats()}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"duet/internal/cluster"
+	"duet/internal/sched"
+)
+
+// This file implements the sharded study behind `duetsim cluster`: the
+// Serve arrival stream dispatched across N independent Dolly replicas
+// (each a complete System with its own engine, adapters, fabrics and
+// scheduler) by a deterministic front end. It is the scale axis past one
+// System: per (seed, shards, front end, policy) the merged result is
+// byte-identical across runs regardless of goroutine interleaving, and a
+// 1-shard cluster reproduces workload.Serve exactly.
+
+// ClusterConfig parameterizes one sharded serve run. The embedded
+// ServeConfig describes each replica (eFPGAs, hubs, scheduler policy) and
+// the shared arrival stream (jobs, seed, mean gap).
+type ClusterConfig struct {
+	ServeConfig
+	Shards   int              // independent replicas (default 2)
+	FrontEnd cluster.FrontEnd // arrival-routing policy
+}
+
+// ClusterResult is the outcome of one sharded serve run.
+type ClusterResult struct {
+	Policy   sched.Policy
+	FrontEnd cluster.FrontEnd
+	Shards   int
+	Offered  int
+	Merged   sched.Stats // exact-quantile merge across shards
+	PerShard []cluster.ShardResult
+}
+
+// ServeCluster plays the seeded open-loop workload through a sharded
+// serve farm and reports the merged statistics.
+func ServeCluster(cfg ClusterConfig) (ClusterResult, error) {
+	cfg.ServeConfig = cfg.ServeConfig.withDefaults()
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	res, err := cluster.Run(cluster.Config{
+		Shards:   cfg.Shards,
+		FrontEnd: cfg.FrontEnd,
+		Seed:     cfg.Seed,
+		// The serve replica draws nothing locally (arrivals are
+		// pre-generated, accelerators are inert stubs), so the derived
+		// per-shard seed is accepted but unused.
+		NewReplica: func(shard int, seed int64) (*cluster.Replica, error) {
+			sys, sch, err := newServeSystem(cfg.ServeConfig)
+			if err != nil {
+				return nil, err
+			}
+			return &cluster.Replica{
+				Eng: sys.Eng,
+				Sch: sch,
+				Run: func() error {
+					_, err := sys.RunChecked()
+					return err
+				},
+			}, nil
+		},
+	}, serveArrivals(cfg.ServeConfig))
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	return ClusterResult{
+		Policy:   cfg.Policy,
+		FrontEnd: res.FrontEnd,
+		Shards:   res.Shards,
+		Offered:  res.Offered,
+		Merged:   res.Merged,
+		PerShard: res.PerShard,
+	}, nil
+}

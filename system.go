@@ -8,6 +8,7 @@ import (
 	"duet/internal/core"
 	"duet/internal/cpu"
 	"duet/internal/efpga"
+	"duet/internal/mmio"
 	"duet/internal/mmu"
 	"duet/internal/noc"
 	"duet/internal/params"
@@ -81,6 +82,7 @@ type System struct {
 	Fabric   *efpga.Fabric
 
 	scheduler *sched.Scheduler
+	route     mmio.Router
 
 	next uint64 // bump allocator
 }
@@ -136,9 +138,8 @@ func New(cfg Config) *System {
 	for a := range ctrlTiles {
 		ctrlTiles[a] = cfg.Cores + a*tilesPerAdapter
 	}
-	var route func(addr uint64) (int, bool)
 	if cfg.EFPGAs > 0 {
-		route = func(addr uint64) (int, bool) {
+		s.route = func(addr uint64) (int, bool) {
 			if addr < params.MMIOBase {
 				return 0, false
 			}
@@ -150,7 +151,7 @@ func New(cfg Config) *System {
 		}
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		s.Cores = append(s.Cores, cpu.New(eng, mesh, dom, i, i, route))
+		s.Cores = append(s.Cores, cpu.New(eng, mesh, dom, i, i, s.route))
 	}
 
 	capacity := cfg.FabricCap
@@ -254,6 +255,12 @@ func (s *System) Scheduler(cfg sched.Config) *sched.Scheduler {
 	}
 	return s.scheduler
 }
+
+// MMIORouter returns the system's MMIO address router: it maps an
+// address to the NoC tile of the owning adapter's control hub, with
+// ok=false for addresses no adapter claims. CPU-only systems have no
+// MMIO devices and return nil.
+func (s *System) MMIORouter() mmio.Router { return s.route }
 
 // ReadMem64 reads the current coherent value of a 64-bit word — for
 // result checking after a run.
