@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -39,6 +41,8 @@ func main() {
 	jobs := flag.Int("jobs", 240, "serve/cluster: offered jobs")
 	efpgas := flag.Int("efpgas", 2, "serve/cluster: number of eFPGAs (per shard)")
 	shards := flag.Int("shards", 4, "cluster: number of Duet replicas")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the executed commands to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the commands to `file`")
 	flag.Parse()
 	// Accept flags after command words too (`duetsim cluster -shards 4`):
 	// re-parse whenever a flag-like token follows a command. Flags apply
@@ -61,6 +65,17 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Profiling wraps only the command runs (flag parsing and usage errors
+	// are excluded), so kernel regressions can be profiled straight from
+	// the CLI: duetsim -cpuprofile cpu.out cluster; go tool pprof cpu.out
+	// Profiles are flushed on every exit path, including command errors.
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "duetsim: %v\n", err)
+		os.Exit(1)
+	}
+	code := 0
+loop:
 	for _, cmd := range cmds {
 		switch cmd {
 		case "table1":
@@ -80,7 +95,11 @@ func main() {
 		case "serve":
 			serve(*seed, *jobs, *efpgas)
 		case "cluster":
-			clusterStudy(*seed, *jobs, *efpgas, *shards)
+			if err := clusterStudy(*seed, *jobs, *efpgas, *shards); err != nil {
+				fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+				code = 1
+				break loop
+			}
 		case "all":
 			table1()
 			table2()
@@ -91,13 +110,59 @@ func main() {
 		default:
 			fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
 			usage()
-			os.Exit(2)
+			code = 2
+			break loop
 		}
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "duetsim: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if code != 0 {
+		os.Exit(code)
 	}
 }
 
+// startProfiles begins CPU profiling and returns a flush function that
+// stops the CPU profile and writes the heap profile. Empty paths disable
+// the respective profile.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] {table1|table2|fig9|fig10|fig11|fig12|ablations|serve|cluster|all}...")
+	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablations|serve|cluster|all}...")
 }
 
 func header(title string) {
@@ -241,27 +306,25 @@ func serve(seed int64, jobs, efpgas int) {
 	fmt.Println("Reuse-aware placement avoids reprogramming; output is byte-identical per seed.")
 }
 
-func clusterStudy(seed int64, jobs, efpgas, shards int) {
+func clusterStudy(seed int64, jobs, efpgas, shards int) error {
 	header(fmt.Sprintf("Cluster: sharded serve farm (%d jobs, %d shards x %d eFPGAs, seed %d)",
 		jobs, shards, efpgas, seed))
-	run := func(sh int, fe cluster.FrontEnd, p sched.Policy, gapUS float64, queueCap int) workload.ClusterResult {
-		r, err := workload.ServeCluster(workload.ClusterConfig{
+	run := func(sh int, fe cluster.FrontEnd, p sched.Policy, gapUS float64, queueCap int) (workload.ClusterResult, error) {
+		return workload.ServeCluster(workload.ClusterConfig{
 			ServeConfig: workload.ServeConfig{Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, MeanGapUS: gapUS, QueueCap: queueCap},
 			Shards:      sh,
 			FrontEnd:    fe,
 		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
-			os.Exit(1)
-		}
-		return r
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Front end\tPolicy\tCompleted\tRejected\tThroughput\tp50\tp99\tMean wait\tReconfigs\tMissed DL\tShard jobs")
 	for fe := cluster.FrontEnd(0); fe < cluster.NumFrontEnds; fe++ {
 		for p := sched.Policy(0); p < sched.NumPolicies; p++ {
-			r := run(shards, fe, p, 0, 0)
+			r, err := run(shards, fe, p, 0, 0)
+			if err != nil {
+				return err
+			}
 			perShard := ""
 			for i, s := range r.PerShard {
 				if i > 0 {
@@ -285,7 +348,10 @@ func clusterStudy(seed int64, jobs, efpgas, shards int) {
 	fmt.Fprintln(w, "Shards\tThroughput\tp99\tSpeedup")
 	var base float64
 	for sh := 1; sh <= shards; sh *= 2 {
-		r := run(sh, cluster.LeastOutstanding, sched.Affinity, 5, 1024)
+		r, err := run(sh, cluster.LeastOutstanding, sched.Affinity, 5, 1024)
+		if err != nil {
+			return err
+		}
 		if sh == 1 {
 			base = r.Merged.ThroughputPerMS
 		}
@@ -295,6 +361,7 @@ func clusterStudy(seed int64, jobs, efpgas, shards int) {
 	w.Flush()
 	fmt.Println("Per (seed, shards, front end, policy) the table is byte-identical across runs;")
 	fmt.Println("a 1-shard cluster reproduces `duetsim serve` exactly.")
+	return nil
 }
 
 func ablations() {

@@ -24,11 +24,14 @@ type Way struct {
 }
 
 // Array is a set-associative array of cache lines indexed by physical line
-// address.
+// address. Line storage is one flat slice, allocated on first access: a
+// constructed-but-untouched array (the common case for the serve/cluster
+// studies, which build full Dolly systems whose caches carry no traffic)
+// costs nothing, and a live one is a single contiguous block.
 type Array struct {
 	sets  int
 	ways  int
-	lines [][]Way
+	lines []Way // flat sets*ways storage; nil until first access
 	stamp uint64
 	// Hits/Misses count Lookup outcomes for statistics.
 	Hits, Misses uint64
@@ -46,12 +49,7 @@ func NewArray(capacityBytes, ways int) *Array {
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d is not a power of two", sets))
 	}
-	a := &Array{sets: sets, ways: ways}
-	a.lines = make([][]Way, sets)
-	for i := range a.lines {
-		a.lines[i] = make([]Way, ways)
-	}
-	return a
+	return &Array{sets: sets, ways: ways}
 }
 
 // Sets reports the number of sets.
@@ -61,8 +59,11 @@ func (a *Array) Sets() int { return a.sets }
 func (a *Array) Ways() int { return a.ways }
 
 func (a *Array) setOf(lineAddr uint64) []Way {
-	idx := (lineAddr / mem.LineBytes) % uint64(a.sets)
-	return a.lines[idx]
+	if a.lines == nil {
+		a.lines = make([]Way, a.sets*a.ways)
+	}
+	idx := int((lineAddr/mem.LineBytes)%uint64(a.sets)) * a.ways
+	return a.lines[idx : idx+a.ways]
 }
 
 // Lookup finds the way holding lineAddr, touching LRU state on hit. It
@@ -137,11 +138,9 @@ func (a *Array) Invalidate(w *Way) { *w = Way{} }
 
 // ForEach calls fn for every valid line.
 func (a *Array) ForEach(fn func(*Way)) {
-	for _, set := range a.lines {
-		for i := range set {
-			if set[i].Valid {
-				fn(&set[i])
-			}
+	for i := range a.lines {
+		if a.lines[i].Valid {
+			fn(&a.lines[i])
 		}
 	}
 }

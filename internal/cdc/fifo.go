@@ -115,7 +115,7 @@ func (f *Fifo) TryPush(payload interface{}, tx *sim.TX) bool {
 	f.queue = append(f.queue, entry{payload: payload, writtenAt: wedge, visibleAt: visible, tx: tx})
 	f.Pushed++
 	// Wake potential readers when the entry becomes visible.
-	f.eng.At(visible, f.notEmpty.Broadcast)
+	f.notEmpty.BroadcastAt(visible)
 	return true
 }
 
@@ -155,7 +155,7 @@ func (f *Fifo) TryPop() (interface{}, *sim.TX, bool) {
 	freeAt := f.wclk.EdgesAfter(redge, int64(f.syncStages))
 	f.pendingFree = append(f.pendingFree, freeAt)
 	f.gcPendingFree(now)
-	f.eng.At(freeAt, f.notFull.Broadcast)
+	f.notFull.BroadcastAt(freeAt)
 	// Attribute the CDC crossing cost to the transaction: time from write
 	// commit to visibility.
 	e.tx.Add(sim.CatCDC, e.visibleAt-e.writtenAt)

@@ -7,10 +7,11 @@ import "duet/internal/sim"
 // push can fall behind a later successful one); every producer that may
 // push while the FIFO is full must go through a Pusher.
 type Pusher struct {
-	eng  *sim.Engine
-	f    *Fifo
-	q    []queued
-	busy bool
+	eng     *sim.Engine
+	f       *Fifo
+	q       []queued
+	busy    bool
+	drainEv sim.Event // pre-built retry record; rescheduled, never rebuilt
 }
 
 type queued struct {
@@ -18,9 +19,14 @@ type queued struct {
 	tx      *sim.TX
 }
 
+// drainPusher is the trampoline behind the pusher's retry events.
+func drainPusher(a any) { a.(*Pusher).drain() }
+
 // NewPusher returns an ordered pusher for f.
 func NewPusher(eng *sim.Engine, f *Fifo) *Pusher {
-	return &Pusher{eng: eng, f: f}
+	p := &Pusher{eng: eng, f: f}
+	p.drainEv = sim.Event{Fn: drainPusher, Arg: p}
+	return p
 }
 
 // Push enqueues payload; it is committed to the FIFO in Push-call order as
@@ -41,7 +47,7 @@ func (p *Pusher) drain() {
 			// Full: retry at the next writer edge. The busy flag keeps
 			// later Push calls queued behind us.
 			p.busy = true
-			p.eng.At(p.f.WriterClock().EdgeAfter(p.eng.Now()), p.drain)
+			p.eng.AtEvent(p.f.WriterClock().EdgeAfter(p.eng.Now()), &p.drainEv)
 			return
 		}
 		p.q = p.q[1:]

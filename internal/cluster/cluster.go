@@ -164,9 +164,10 @@ func runShard(shard int, seed int64, r *Replica, arrivals []Arrival) (ShardResul
 		sr.WaitSum += j.Wait()
 		sr.ServiceSum += j.Service()
 	}
+	submit := func(a any) { r.Sch.Submit(a.(*sched.Job)) }
 	for _, a := range arrivals {
 		job := a.Job
-		r.Eng.At(a.At, func() { r.Sch.Submit(&job) })
+		r.Eng.AtArg(a.At, submit, &job)
 	}
 	err := r.Run()
 	sr.Stats = r.Sch.Stats()

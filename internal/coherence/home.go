@@ -40,11 +40,19 @@ func (d *dirEntry) copies() []int {
 // lineCtx serializes home-side work per line.
 type lineCtx struct {
 	busy bool
-	jobs []func(*sim.Thread)
+	jobs []homeJob
 
 	// Ack collection for the flow currently holding the line's thread.
 	acks    []*AckMsg
 	ackCond *sim.Cond
+}
+
+// homeJob is one queued request for a line's serial worker. Jobs are value
+// records rather than closures so the request hot path allocates nothing
+// beyond the messages themselves.
+type homeJob struct {
+	req *ReqMsg
+	tx  *sim.TX
 }
 
 // Home is one L3 shard plus its slice of the distributed directory. Lines
@@ -56,6 +64,7 @@ type Home struct {
 	clk  *sim.Clock
 	mesh *noc.Mesh
 	tile int
+	name string // worker-thread name, built once (not per transaction)
 
 	dram *mem.Memory
 	arr  *cache.Array
@@ -76,6 +85,7 @@ func NewHome(eng *sim.Engine, clk *sim.Clock, mesh *noc.Mesh, tile int, dram *me
 		clk:       clk,
 		mesh:      mesh,
 		tile:      tile,
+		name:      fmt.Sprintf("home%d", tile),
 		dram:      dram,
 		arr:       cache.NewArray(params.L3ShardBytes, params.L3Ways),
 		dir:       make(map[uint64]*dirEntry),
@@ -102,23 +112,24 @@ func (h *Home) ctx(line uint64) *lineCtx {
 	return c
 }
 
-// enqueue adds a job to the line's serial queue, starting a worker thread
-// if none is active.
-func (h *Home) enqueue(line uint64, job func(*sim.Thread)) {
+// enqueue adds a request to the line's serial queue, starting a worker
+// thread if none is active.
+func (h *Home) enqueue(line uint64, job homeJob) {
 	c := h.ctx(line)
 	c.jobs = append(c.jobs, job)
 	if !c.busy {
 		c.busy = true
-		h.startWorker(line, c)
+		h.startWorker(c)
 	}
 }
 
-func (h *Home) startWorker(line uint64, c *lineCtx) {
-	h.eng.Go(fmt.Sprintf("home%d:%#x", h.tile, line), func(t *sim.Thread) {
+func (h *Home) startWorker(c *lineCtx) {
+	h.eng.Go(h.name, func(t *sim.Thread) {
 		for len(c.jobs) > 0 {
 			j := c.jobs[0]
+			c.jobs[0] = homeJob{}
 			c.jobs = c.jobs[1:]
-			j(t)
+			h.process(t, j.req, j.tx)
 		}
 		c.busy = false
 		if len(c.acks) > 0 {
@@ -130,9 +141,7 @@ func (h *Home) startWorker(line uint64, c *lineCtx) {
 func (h *Home) onReq(m *noc.Msg) {
 	req := m.Payload.(*ReqMsg)
 	h.Reqs++
-	h.enqueue(req.Line, func(t *sim.Thread) {
-		h.process(t, req, m.TX)
-	})
+	h.enqueue(req.Line, homeJob{req: req, tx: m.TX})
 }
 
 func (h *Home) onAck(m *noc.Msg) {
@@ -203,11 +212,10 @@ func (h *Home) ensureResident(t *sim.Thread, line uint64, tx *sim.TX) *cache.Way
 		// Hold the victim line busy for the duration of the eviction so a
 		// concurrent request for it cannot start a second worker.
 		vc := h.ctx(victim.Tag)
-		vline := victim.Tag
 		vc.busy = true
 		h.evictL3(t, victim, tx)
 		if len(vc.jobs) > 0 {
-			h.startWorker(vline, vc)
+			h.startWorker(vc)
 		} else {
 			vc.busy = false
 		}

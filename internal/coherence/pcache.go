@@ -97,6 +97,11 @@ type PCache struct {
 	wb      map[uint64]*wbEntry
 	stalled []*frontOp
 
+	// lookupFn is the one tag-lookup callback for the cache; submit
+	// schedules it with the front op as the event argument, so the
+	// per-access front end allocates no closure.
+	lookupFn func(any)
+
 	// Stats.
 	Loads, Stores, Amos     uint64
 	LoadMisses, StoreMisses uint64
@@ -114,7 +119,7 @@ func NewPCache(eng *sim.Engine, mesh *noc.Mesh, cfg PCacheConfig, homeOf func(ui
 	if cfg.MSHRs <= 0 {
 		cfg.MSHRs = 1
 	}
-	return &PCache{
+	c := &PCache{
 		cfg:    cfg,
 		eng:    eng,
 		arr:    cache.NewArray(cfg.SizeBytes, cfg.Ways),
@@ -123,6 +128,8 @@ func NewPCache(eng *sim.Engine, mesh *noc.Mesh, cfg PCacheConfig, homeOf func(ui
 		mshrs:  make(map[uint64]*mshr),
 		wb:     make(map[uint64]*wbEntry),
 	}
+	c.lookupFn = func(a any) { c.lookup(a.(*frontOp)) }
+	return c
 }
 
 // ID reports the cache's global ID.
@@ -148,6 +155,15 @@ func (c *PCache) after(n int64, tx *sim.TX, fn func()) {
 	at := c.cfg.Clk.EdgesAfter(now, n)
 	tx.Add(c.cfg.Cat, at-now)
 	c.eng.At(at, fn)
+}
+
+// afterArg is the closure-free variant of after for the cache's cached
+// callbacks (see lookupFn).
+func (c *PCache) afterArg(n int64, tx *sim.TX, fn func(any), arg any) {
+	now := c.eng.Now()
+	at := c.cfg.Clk.EdgesAfter(now, n)
+	tx.Add(c.cfg.Cat, at-now)
+	c.eng.AtArg(at, fn, arg)
 }
 
 // LoadAsync reads size bytes at addr, calling done with the data when the
@@ -180,15 +196,16 @@ func (c *PCache) AmoAsync(op AmoOp, addr uint64, size int, operand, operand2 uin
 }
 
 // Load is the blocking wrapper over LoadAsync for thread-style callers.
+// The calling thread is the only possible waiter, so completion wakes it
+// directly (Thread.Wake) instead of through a per-call condition.
 func (c *PCache) Load(t *sim.Thread, addr uint64, size int, tx *sim.TX) []byte {
 	var out []byte
-	cond := sim.NewCond(c.eng)
 	c.LoadAsync(addr, size, 0, tx, func(d []byte) {
 		out = d
-		cond.Broadcast()
+		t.Wake()
 	})
 	for out == nil {
-		cond.Wait(t)
+		t.Park()
 	}
 	return out
 }
@@ -196,13 +213,12 @@ func (c *PCache) Load(t *sim.Thread, addr uint64, size int, tx *sim.TX) []byte {
 // Store is the blocking wrapper over StoreAsync.
 func (c *PCache) Store(t *sim.Thread, addr uint64, data []byte, tx *sim.TX) {
 	ok := false
-	cond := sim.NewCond(c.eng)
 	c.StoreAsync(addr, data, 0, tx, func() {
 		ok = true
-		cond.Broadcast()
+		t.Wake()
 	})
 	for !ok {
-		cond.Wait(t)
+		t.Park()
 	}
 }
 
@@ -210,13 +226,12 @@ func (c *PCache) Store(t *sim.Thread, addr uint64, data []byte, tx *sim.TX) {
 func (c *PCache) Amo(t *sim.Thread, op AmoOp, addr uint64, size int, operand, operand2 uint64, tx *sim.TX) uint64 {
 	var out uint64
 	ok := false
-	cond := sim.NewCond(c.eng)
 	c.AmoAsync(op, addr, size, operand, operand2, tx, func(v uint64) {
 		out, ok = v, true
-		cond.Broadcast()
+		t.Wake()
 	})
 	for !ok {
-		cond.Wait(t)
+		t.Park()
 	}
 	return out
 }
@@ -231,7 +246,7 @@ func (c *PCache) submit(op *frontOp) {
 		w.pending = append(w.pending, op)
 		return
 	}
-	c.after(c.cfg.HitCycles, op.tx, func() { c.lookup(op) })
+	c.afterArg(c.cfg.HitCycles, op.tx, c.lookupFn, op)
 }
 
 func (c *PCache) lookup(op *frontOp) {

@@ -159,6 +159,11 @@ type Adapter struct {
 	seqCtr        uint64
 	pendingNormal map[uint64]*inflight
 
+	// decodeFn is the one decode callback for the whole adapter; onMMIO
+	// schedules it with the in-flight op as the event argument, so the
+	// per-operation intake path allocates no closure.
+	decodeFn func(any)
+
 	// TLB window staging registers, per hub.
 	stageVPN []uint64
 	stagePPN []uint64
@@ -193,6 +198,7 @@ func NewAdapter(eng *sim.Engine, mesh *noc.Mesh, dom *coherence.Domain, fabric *
 		queues:        make(map[int][]*inflight),
 		pendingNormal: make(map[uint64]*inflight),
 	}
+	a.decodeFn = func(x any) { a.decode(x.(*inflight)) }
 	for i, tile := range cfg.HubTiles {
 		a.hubs = append(a.hubs, newMemHub(a, i, tile, cfg.CacheIDBase+i))
 	}
@@ -261,7 +267,7 @@ func (a *Adapter) onMMIO(m *noc.Msg) {
 	a.intakeFree = start + a.fastClk.Cycles(params.CtrlHubDecode)
 	dt := a.intakeFree - a.eng.Now()
 	m.TX.Add(sim.CatFast, dt)
-	a.eng.At(a.intakeFree, func() { a.decode(op) })
+	a.eng.AtArg(a.intakeFree, a.decodeFn, op)
 }
 
 func (a *Adapter) decode(op *inflight) {

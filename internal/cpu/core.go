@@ -172,6 +172,11 @@ const (
 type proc struct {
 	core *Core
 	t    *sim.Thread
+
+	// stbuf stages store data. Both consumers copy synchronously (the L1
+	// in update, the L2 in StoreAsync), so one scratch buffer serves every
+	// store without a per-store allocation.
+	stbuf [8]byte
 }
 
 func (p *proc) CoreID() int   { return p.core.id }
@@ -223,7 +228,7 @@ func (p *proc) store(addr uint64, v uint64, size int) {
 	c := p.core
 	c.Stores++
 	c.Instrs++
-	buf := make([]byte, size)
+	buf := p.stbuf[:size]
 	for i := 0; i < size; i++ {
 		buf[i] = byte(v >> (8 * i))
 	}

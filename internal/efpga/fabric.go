@@ -233,41 +233,53 @@ func (f *Fabric) Accel() Accelerator { return f.accel }
 // BRAM-backed storage private to the accelerator, accessed in the slow
 // clock domain with a fixed cycle cost charged by the caller.
 type Scratchpad struct {
-	data []byte
+	size int
+	data []byte // allocated on first access; untouched scratchpads are free
 }
 
-// NewScratchpad allocates a scratchpad of the given size.
+// NewScratchpad builds a scratchpad of the given size. Storage is
+// allocated on first access, so systems whose accelerators never run
+// (e.g. the serve/cluster studies' analytic jobs) never pay for it.
 func NewScratchpad(size int) *Scratchpad {
-	return &Scratchpad{data: make([]byte, size)}
+	return &Scratchpad{size: size}
 }
 
 // Size reports the scratchpad capacity in bytes.
-func (s *Scratchpad) Size() int { return len(s.data) }
+func (s *Scratchpad) Size() int { return s.size }
+
+func (s *Scratchpad) buf() []byte {
+	if s.data == nil {
+		s.data = make([]byte, s.size)
+	}
+	return s.data
+}
 
 // Read64 loads a uint64 at offset off.
 func (s *Scratchpad) Read64(off int) uint64 {
+	b := s.buf()
 	var v uint64
 	for i := 0; i < 8; i++ {
-		v |= uint64(s.data[off+i]) << (8 * i)
+		v |= uint64(b[off+i]) << (8 * i)
 	}
 	return v
 }
 
 // Write64 stores a uint64 at offset off.
 func (s *Scratchpad) Write64(off int, v uint64) {
+	b := s.buf()
 	for i := 0; i < 8; i++ {
-		s.data[off+i] = byte(v >> (8 * i))
+		b[off+i] = byte(v >> (8 * i))
 	}
 }
 
 // Read copies n bytes at off.
 func (s *Scratchpad) Read(off, n int) []byte {
 	out := make([]byte, n)
-	copy(out, s.data[off:off+n])
+	copy(out, s.buf()[off:off+n])
 	return out
 }
 
 // Write copies data to off.
 func (s *Scratchpad) Write(off int, data []byte) {
-	copy(s.data[off:], data)
+	copy(s.buf()[off:], data)
 }

@@ -75,6 +75,11 @@ type Mesh struct {
 	handlers map[int][NumVNs]Handler
 	linkFree map[linkKey]sim.Time
 
+	// deliverFn is the one delivery callback for the whole mesh; Send
+	// schedules it with the message as the event argument, so injecting a
+	// message allocates no per-message closure.
+	deliverFn func(any)
+
 	// Stats
 	Messages  uint64
 	BytesSent uint64
@@ -86,7 +91,7 @@ func NewMesh(eng *sim.Engine, clk *sim.Clock, w, h int) *Mesh {
 	if w <= 0 || h <= 0 {
 		panic("noc: bad mesh dimensions")
 	}
-	return &Mesh{
+	m := &Mesh{
 		eng:      eng,
 		clk:      clk,
 		W:        w,
@@ -94,6 +99,8 @@ func NewMesh(eng *sim.Engine, clk *sim.Clock, w, h int) *Mesh {
 		handlers: make(map[int][NumVNs]Handler),
 		linkFree: make(map[linkKey]sim.Time),
 	}
+	m.deliverFn = func(a any) { m.deliver(a.(*Msg)) }
+	return m
 }
 
 // Tiles reports the number of tiles.
@@ -180,7 +187,9 @@ func (m *Mesh) Send(msg *Msg) {
 	t := start
 	nf := flits(msg.Bytes)
 	cur := msg.Src
-	for _, next := range m.route(msg.Src, msg.Dst) {
+	// Walk the XY route hop by hop (same order as route(), without
+	// materializing the path: Send is the per-message hot path).
+	hop := func(next int) {
 		// Router pipeline at the current node.
 		t += m.clk.Cycles(params.RouterCycles)
 		// Acquire the outgoing link; serialize behind earlier traffic.
@@ -194,6 +203,24 @@ func (m *Mesh) Send(msg *Msg) {
 		t = dep + m.clk.Cycles(params.LinkCycles)
 		cur = next
 	}
+	x, y := m.XY(msg.Src)
+	dx, dy := m.XY(msg.Dst)
+	for x != dx {
+		if x < dx {
+			x++
+		} else {
+			x--
+		}
+		hop(m.TileAt(x, y))
+	}
+	for y != dy {
+		if y < dy {
+			y++
+		} else {
+			y--
+		}
+		hop(m.TileAt(x, y))
+	}
 	if msg.Src == msg.Dst {
 		// Local delivery still pays router + ejection.
 		t += m.clk.Cycles(params.RouterCycles)
@@ -204,7 +231,7 @@ func (m *Mesh) Send(msg *Msg) {
 	t += m.clk.Cycles(params.EjectCycles)
 
 	msg.TX.Add(sim.CatNoC, t-start)
-	m.eng.At(t, func() { m.deliver(msg) })
+	m.eng.AtArg(t, m.deliverFn, msg)
 }
 
 func (m *Mesh) deliver(msg *Msg) {

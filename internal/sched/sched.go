@@ -139,6 +139,11 @@ type Scheduler struct {
 	// the scheduler's ledgers. Jobs bounced by the admission queue never
 	// started and are not reported.
 	OnResult func(*Job)
+
+	// finishFn is the one job-completion callback for the scheduler;
+	// serve schedules it with the job as the event argument, so the
+	// per-job service path allocates no closure.
+	finishFn func(any)
 }
 
 // New builds a scheduler over the given adapters and fabrics (one worker
@@ -157,6 +162,7 @@ func New(eng *sim.Engine, adapters []*core.Adapter, fabrics []*efpga.Fabric, cfg
 	for i := range adapters {
 		s.workers = append(s.workers, &worker{id: i, ad: adapters[i], fab: fabrics[i]})
 	}
+	s.finishFn = func(a any) { s.finish(a.(*Job)) }
 	return s
 }
 
@@ -336,15 +342,19 @@ func (s *Scheduler) serve(w *worker, j *Job, app *App) {
 	if app.BS.FmaxMHz > 0 && w.fab.Clock().FreqMHz() != app.BS.FmaxMHz {
 		w.fab.SetFreqMHz(app.BS.FmaxMHz)
 	}
-	s.eng.After(w.fab.Clock().Cycles(app.cycles(j.InputSize)), func() {
-		j.Finish = s.eng.Now()
-		w.jobs++
-		s.Completed = append(s.Completed, j)
-		if s.OnResult != nil {
-			s.OnResult(j)
-		}
-		s.release(w)
-	})
+	s.eng.AfterArg(w.fab.Clock().Cycles(app.cycles(j.InputSize)), s.finishFn, j)
+}
+
+// finish retires a served job (j.Fabric names the worker it occupied).
+func (s *Scheduler) finish(j *Job) {
+	w := s.workers[j.Fabric]
+	j.Finish = s.eng.Now()
+	w.jobs++
+	s.Completed = append(s.Completed, j)
+	if s.OnResult != nil {
+		s.OnResult(j)
+	}
+	s.release(w)
 }
 
 // fail records a job that died on its worker and frees the worker.

@@ -7,10 +7,18 @@
 // run as Threads: goroutines that are resumed one at a time by the engine,
 // which keeps the simulation fully deterministic while letting benchmark
 // code be written as ordinary straight-line Go.
+//
+// The event queue is a calendar of per-timestamp buckets ordered by a
+// hand-rolled 4-ary heap of bucket handles. Because clocked models schedule
+// almost everything on clock-edge-aligned timestamps shared by many
+// components, the common enqueue/dequeue is an O(1) append/advance on an
+// existing bucket; the heap only sees distinct timestamps. Events are stored
+// by value and callbacks are passed as (func(any), arg) pairs, so the
+// schedule-and-run path performs no per-event allocation. See PERF.md for
+// the layout and the determinism invariants.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -47,52 +55,80 @@ func (t Time) Nanoseconds() float64 { return float64(t) / float64(NS) }
 // Seconds reports t as a float64 second count.
 func (t Time) Seconds() float64 { return float64(t) / 1e12 }
 
+// event is one scheduled callback, stored by value inside its timestamp's
+// bucket. The kernel allocates nothing per event: fn is a long-lived
+// function value and arg a caller-owned pointer (or the plain func() for
+// events scheduled through At/After, which boxes allocation-free).
 type event struct {
-	at  Time
 	pri int32
-	seq uint64
-	fn  func()
+	fn  func(any)
+	arg any
 }
 
-type eventHeap []*event
+// call0 adapts a plain func() callback to the (fn, arg) event form.
+func call0(a any) { a.(func())() }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].pri != h[j].pri {
-		return h[i].pri < h[j].pri
-	}
-	return h[i].seq < h[j].seq
+// bucket holds every queued event of one timestamp. Events at equal
+// (at, pri) run in scheduling order; the slice is kept sorted by priority
+// (stable in scheduling order) over the unpopped tail [head:], which is a
+// no-op append for the default priority 0.
+type bucket struct {
+	at   Time
+	head int // next event to pop
+	evs  []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// Event is a pre-built schedulable record. Components that repeatedly
+// schedule the same callback (thread wakeups, FIFO drains) build one Event
+// up front and pass it to Engine.AtEvent, so the hot path rebuilds no
+// closures. Scheduling copies the record; one Event may be pending at
+// several times at once.
+type Event struct {
+	Pri int32
+	Fn  func(any)
+	Arg any
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
-// engines with NewEngine.
+// engines with NewEngine or NewEngineCap.
 type Engine struct {
 	now     Time
-	events  eventHeap
-	seq     uint64
 	stopped bool
+	pending int
+
+	buckets []bucket       // bucket arena; heap and byTime hold indices into it
+	free    []int32        // released arena slots available for reuse
+	heap    []int32        // 4-ary min-heap of live bucket indices, keyed by at
+	byTime  map[Time]int32 // live buckets by timestamp
 
 	// threads tracks live Threads so Run can detect a deadlock in which
 	// every thread is parked but no events remain.
 	liveThreads int
+
+	// pool holds idle coroutine workers for reuse by Go; see worker.
+	pool []*worker
 }
 
 // NewEngine returns an empty engine at time zero.
-func NewEngine() *Engine {
-	return &Engine{}
+func NewEngine() *Engine { return NewEngineCap(0) }
+
+// NewEngineCap returns an empty engine pre-sized for roughly capHint
+// concurrently queued events, so large models reach steady state without
+// growing the queue's arena, heap, or calendar index mid-run.
+func NewEngineCap(capHint int) *Engine {
+	e := &Engine{}
+	if capHint > 0 {
+		// Clocked models put several events in each bucket; a quarter of
+		// the event capacity is a conservative distinct-timestamp estimate.
+		nb := capHint/4 + 1
+		e.buckets = make([]bucket, 0, nb)
+		e.free = make([]int32, 0, nb)
+		e.heap = make([]int32, 0, nb)
+		e.byTime = make(map[Time]int32, nb)
+	} else {
+		e.byTime = make(map[Time]int32)
+	}
+	return e
 }
 
 // Now reports the current simulated time.
@@ -101,31 +137,104 @@ func (e *Engine) Now() Time { return e.now }
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a model bug.
 func (e *Engine) At(t Time, fn func()) {
-	e.at(t, 0, fn)
+	e.at(t, 0, call0, fn)
 }
 
 // AtPri schedules fn at time t with an explicit priority. Lower priorities
 // run first among events at the same instant; same-priority events run in
 // scheduling order.
 func (e *Engine) AtPri(t Time, pri int32, fn func()) {
-	e.at(t, pri, fn)
+	e.at(t, pri, call0, fn)
 }
 
 // After schedules fn to run d picoseconds from now.
 func (e *Engine) After(d Time, fn func()) {
-	e.at(e.now+d, 0, fn)
+	e.at(e.now+d, 0, call0, fn)
 }
 
-func (e *Engine) at(t Time, pri int32, fn func()) {
+// AtArg schedules fn(arg) at absolute time t. With a long-lived fn and a
+// pointer-shaped arg this schedules without allocating, so per-message hot
+// paths (NoC delivery, MMIO decode, job completion) avoid closure churn.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) {
+	e.at(t, 0, fn, arg)
+}
+
+// AfterArg schedules fn(arg) d picoseconds from now; see AtArg.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) {
+	e.at(e.now+d, 0, fn, arg)
+}
+
+// AtEvent schedules the pre-built record ev at absolute time t. The record
+// is copied, never retained, so it can be rescheduled freely — the
+// allocation-free path behind thread wakeups and condition broadcasts.
+func (e *Engine) AtEvent(t Time, ev *Event) {
+	e.at(t, ev.Pri, ev.Fn, ev.Arg)
+}
+
+// at enqueues one event. The fast path — a timestamp that already has a
+// bucket, default priority — is a map hit plus an append.
+func (e *Engine) at(t Time, pri int32, fn func(any), arg any) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: t, pri: pri, seq: e.seq, fn: fn})
+	e.pending++
+	if bi, ok := e.byTime[t]; ok {
+		b := &e.buckets[bi]
+		b.evs = append(b.evs, event{pri: pri, fn: fn, arg: arg})
+		// Restore (pri, scheduling-order) order over the unpopped tail.
+		// Appends at the default priority terminate immediately.
+		for i := len(b.evs) - 1; i > b.head && b.evs[i-1].pri > pri; i-- {
+			b.evs[i-1], b.evs[i] = b.evs[i], b.evs[i-1]
+		}
+		return
+	}
+	var bi int32
+	if n := len(e.free); n > 0 {
+		bi = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.buckets = append(e.buckets, bucket{})
+		bi = int32(len(e.buckets) - 1)
+	}
+	b := &e.buckets[bi]
+	b.at = t
+	b.head = 0
+	b.evs = append(b.evs[:0], event{pri: pri, fn: fn, arg: arg})
+	e.byTime[t] = bi
+	e.heapPush(bi)
 }
 
 // Stop makes the current Run call return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and executes the earliest queued event. Callers guarantee the
+// queue is non-empty. The "time went backwards" guard holds for every
+// execution path (Run and RunUntil alike): it is the kernel's core
+// determinism invariant.
+func (e *Engine) step() {
+	bi := e.heap[0]
+	b := &e.buckets[bi]
+	if b.at < e.now {
+		panic("sim: event time went backwards")
+	}
+	e.now = b.at
+	ev := b.evs[b.head]
+	b.evs[b.head] = event{} // release the callback and payload promptly
+	b.head++
+	if b.head == len(b.evs) {
+		// Bucket drained: drop it from the calendar before running the
+		// callback, so a callback scheduling at this same instant starts a
+		// fresh bucket (which becomes the heap top again, preserving order).
+		delete(e.byTime, b.at)
+		b.at = -1
+		b.head = 0
+		b.evs = b.evs[:0]
+		e.heapPopTop()
+		e.free = append(e.free, bi)
+	}
+	e.pending--
+	ev.fn(ev.arg)
+}
 
 // Run executes events until the queue drains, Stop is called, or the event
 // budget maxEvents is exhausted (0 means no budget). It returns the number
@@ -133,18 +242,14 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(maxEvents int) int {
 	e.stopped = false
 	n := 0
-	for len(e.events) > 0 && !e.stopped {
+	for len(e.heap) > 0 && !e.stopped {
 		if maxEvents > 0 && n >= maxEvents {
 			break
 		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at < e.now {
-			panic("sim: event time went backwards")
-		}
-		e.now = ev.at
-		ev.fn()
+		e.step()
 		n++
 	}
+	e.reapWorkers()
 	return n
 }
 
@@ -153,20 +258,74 @@ func (e *Engine) Run(maxEvents int) int {
 func (e *Engine) RunUntil(deadline Time) int {
 	e.stopped = false
 	n := 0
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > deadline {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.buckets[e.heap[0]].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		ev.fn()
+		e.step()
 		n++
 	}
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
 	}
+	e.reapWorkers()
 	return n
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.pending }
+
+// --- 4-ary heap of bucket handles, keyed by bucket timestamp ---------------
+//
+// Timestamps in the heap are distinct (byTime guarantees one live bucket
+// per instant), so ordering needs no tie-break. 4-ary halves the tree depth
+// of a binary heap and keeps the sift loops free of interface dispatch.
+
+func (e *Engine) heapPush(bi int32) {
+	e.heap = append(e.heap, bi)
+	i := len(e.heap) - 1
+	at := e.buckets[bi].at
+	for i > 0 {
+		p := (i - 1) / 4
+		if e.buckets[e.heap[p]].at <= at {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		i = p
+	}
+	e.heap[i] = bi
+}
+
+// heapPopTop removes the minimum (the current top bucket handle).
+func (e *Engine) heapPopTop() {
+	n := len(e.heap) - 1
+	moved := e.heap[n]
+	e.heap = e.heap[:n]
+	if n == 0 {
+		return
+	}
+	at := e.buckets[moved].at
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m, mAt := c, e.buckets[e.heap[c]].at
+		for j := c + 1; j < end; j++ {
+			if a := e.buckets[e.heap[j]].at; a < mAt {
+				m, mAt = j, a
+			}
+		}
+		if mAt >= at {
+			break
+		}
+		e.heap[i] = e.heap[m]
+		i = m
+	}
+	e.heap[i] = moved
+}

@@ -106,6 +106,188 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunUntilTimeWentBackwardsPanics is the regression test for the
+// RunUntil pop path missing the "event time went backwards" invariant
+// check that Run always had. The invariant cannot be violated through the
+// public API (scheduling in the past panics at enqueue), so the test
+// corrupts a queued bucket's timestamp directly.
+func TestRunUntilTimeWentBackwardsPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*NS, func() {})
+	e.At(20*NS, func() {})
+	e.RunUntil(10 * NS) // now = 10ns; the 20ns event stays queued
+	e.buckets[e.heap[0]].at = 5 * NS
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil executed an event behind the current time without panicking")
+		}
+	}()
+	e.RunUntil(30 * NS)
+}
+
+// TestRunTimeWentBackwardsPanics pins the same guard on the Run path.
+func TestRunTimeWentBackwardsPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*NS, func() {})
+	e.At(20*NS, func() {})
+	e.Run(1)
+	e.buckets[e.heap[0]].at = 5 * NS
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run executed an event behind the current time without panicking")
+		}
+	}()
+	e.Run(0)
+}
+
+// TestRunBudgetResumesMidBucket pins that a budgeted Run which halts
+// partway through a same-instant bucket resumes exactly where it left off.
+func TestRunBudgetResumesMidBucket(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 6; i++ {
+		i := i
+		e.At(5*NS, func() { got = append(got, i) })
+	}
+	if n := e.Run(2); n != 2 {
+		t.Fatalf("ran %d, want 2", n)
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("pending = %d, want 4", e.Pending())
+	}
+	e.Run(0)
+	for i := 0; i < 6; i++ {
+		if got[i] != i {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestNewEngineCap(t *testing.T) {
+	e := NewEngineCap(1024)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(Time(i%10)*NS, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	if len(got) != 100 {
+		t.Fatalf("ran %d events, want 100", len(got))
+	}
+	// Same-instant events stay FIFO; instants run in time order.
+	for i := 1; i < len(got); i++ {
+		if got[i]%10 == got[i-1]%10 && got[i] < got[i-1] {
+			t.Fatalf("same-instant FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestAtArgAndAtEvent(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	record := func(a any) { got = append(got, *a.(*int)) }
+	one, two, three := 1, 2, 3
+	ev := Event{Fn: record, Arg: &three}
+	e.AtArg(20*NS, record, &two)
+	e.AfterArg(10*NS, record, &one)
+	e.AtEvent(30*NS, &ev)
+	e.AtEvent(40*NS, &ev) // records reschedule freely
+	e.Run(0)
+	want := []int{1, 2, 3, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAtEventPriority checks AtEvent honors the record's priority against
+// plain same-instant events.
+func TestAtEventPriority(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	ev := Event{Pri: -1, Fn: func(any) { got = append(got, "early") }}
+	e.At(5*NS, func() { got = append(got, "normal") })
+	e.AtEvent(5*NS, &ev)
+	e.Run(0)
+	if len(got) != 2 || got[0] != "early" || got[1] != "normal" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+// TestParkWake exercises the single-waiter blocking idiom the blocking
+// cache wrappers use: the thread parks in a predicate loop and the
+// completion callback wakes it directly.
+func TestParkWake(t *testing.T) {
+	e := NewEngine()
+	done := false
+	var wokeAt Time
+	th := e.Go("waiter", func(th *Thread) {
+		for !done {
+			th.Park()
+		}
+		wokeAt = th.Now()
+	})
+	e.At(30*NS, func() {
+		done = true
+		th.Wake()
+	})
+	e.Run(0)
+	if wokeAt != 30*NS {
+		t.Fatalf("woke at %v, want 30ns", wokeAt)
+	}
+	if e.LiveThreads() != 0 {
+		t.Fatalf("live threads = %d, want 0", e.LiveThreads())
+	}
+}
+
+// TestWakeOfFinishedThreadDropped pins that Wake is a no-op on a thread
+// whose function has returned: no dispatch is scheduled, nothing panics.
+func TestWakeOfFinishedThreadDropped(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	th := e.Go("sleeper", func(th *Thread) {
+		th.Sleep(50 * NS)
+		trace = append(trace, th.Now())
+	})
+	e.At(60*NS, func() { th.Wake() })
+	e.Run(0)
+	if len(trace) != 1 || trace[0] != 50*NS {
+		t.Fatalf("trace = %v, want [50ns]", trace)
+	}
+	if e.LiveThreads() != 0 {
+		t.Fatalf("live threads = %d", e.LiveThreads())
+	}
+}
+
+func TestCondBroadcastAt(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(th *Thread) {
+			c.Wait(th)
+			woke = append(woke, th.Now())
+		})
+	}
+	c.BroadcastAt(25 * NS)
+	e.Run(0)
+	if len(woke) != 3 {
+		t.Fatalf("woke %d threads, want 3", len(woke))
+	}
+	for _, at := range woke {
+		if at != 25*NS {
+			t.Fatalf("woke at %v, want 25ns", at)
+		}
+	}
+	if e.LiveThreads() != 0 {
+		t.Fatal("threads leaked")
+	}
+}
+
 func TestStop(t *testing.T) {
 	e := NewEngine()
 	ran := 0

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refEvent / refHeap reimplement the kernel's pre-calendar event queue — a
+// container/heap of boxed events totally ordered by (at, pri, seq) — as the
+// ordering oracle for FuzzEventOrder.
+type refEvent struct {
+	at  Time
+	pri int32
+	seq uint64
+	id  int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// fuzzOp is one decoded fuzz instruction: a root event at base+dt with the
+// given priority which, when it runs, schedules a child childDt after its
+// own execution time (childDt < 0 means no child). Children exercise
+// nested scheduling, including the schedule-at-now-while-draining path.
+type fuzzOp struct {
+	dt      Time
+	pri     int32
+	childDt Time // -1: no child
+}
+
+func decodeFuzzOps(data []byte) []fuzzOp {
+	var ops []fuzzOp
+	for i := 0; i+2 < len(data) && len(ops) < 512; i += 3 {
+		op := fuzzOp{
+			dt:      Time(data[i]) * 100,
+			pri:     int32(int8(data[i+1])),
+			childDt: -1,
+		}
+		if data[i+2]%2 == 0 {
+			op.childDt = Time(data[i+2]) * 50
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// runKernelOrder plays ops through the real engine and records execution
+// order by event id (roots get their op index; the i-th op's child gets
+// len(ops)+i).
+func runKernelOrder(ops []fuzzOp) []int {
+	e := NewEngine()
+	var got []int
+	base := e.Now() + 10*NS
+	for i, op := range ops {
+		i, op := i, op
+		childID := len(ops) + i
+		e.AtPri(base+op.dt, op.pri, func() {
+			got = append(got, i)
+			if op.childDt >= 0 {
+				e.At(e.Now()+op.childDt, func() { got = append(got, childID) })
+			}
+		})
+	}
+	e.Run(0)
+	return got
+}
+
+// runReferenceOrder plays the same ops through the container/heap oracle,
+// mirroring the engine's semantics (seq assigned in scheduling order,
+// children scheduled at pop time).
+func runReferenceOrder(ops []fuzzOp) []int {
+	var h refHeap
+	var seq uint64
+	var want []int
+	base := Time(10 * NS)
+	for i, op := range ops {
+		seq++
+		heap.Push(&h, &refEvent{at: base + op.dt, pri: op.pri, seq: seq, id: i})
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(*refEvent)
+		want = append(want, ev.id)
+		if ev.id < len(ops) {
+			if op := ops[ev.id]; op.childDt >= 0 {
+				seq++
+				heap.Push(&h, &refEvent{at: ev.at + op.childDt, pri: 0, seq: seq, id: len(ops) + ev.id})
+			}
+		}
+	}
+	return want
+}
+
+// FuzzEventOrder drives the calendar-bucket queue and the reference
+// container/heap with the same (at, pri) stream — including same-instant
+// ties, negative priorities, and nested scheduling — and requires
+// identical pop order. This is the determinism contract every golden-seed
+// result in this repository rests on.
+func FuzzEventOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 0, 0, 1})          // same-instant FIFO ties
+	f.Add([]byte{5, 0x80, 3, 5, 0x7f, 1, 5, 0, 2})    // pri extremes on one instant
+	f.Add([]byte{9, 1, 0, 9, 0xff, 0, 9, 2, 0, 9, 0}) // children landing mid-drain
+	f.Add([]byte{200, 0, 1, 100, 0, 1, 0, 0, 1, 50, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeFuzzOps(data)
+		got := runKernelOrder(ops)
+		want := runReferenceOrder(ops)
+		if len(got) != len(want) {
+			t.Fatalf("executed %d events, reference executed %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pop order diverges at %d: kernel %v, reference %v", i, got, want)
+			}
+		}
+	})
+}

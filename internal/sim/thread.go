@@ -9,7 +9,8 @@ import "fmt"
 // Thread code interacts with simulated time only through the blocking
 // methods (Sleep, WaitUntil, park via Cond/queues). All wakeups are routed
 // through the event queue, never delivered inline, which preserves the
-// single-runner invariant.
+// single-runner invariant. Every wakeup reschedules the thread's pre-built
+// wake record, so parking and waking allocate nothing.
 type Thread struct {
 	eng    *Engine
 	name   string
@@ -17,28 +18,81 @@ type Thread struct {
 	yield  chan struct{}
 	parked bool
 	done   bool
+	wake   Event // pre-built dispatch record; see Engine.AtEvent
+}
+
+// dispatchThread is the shared trampoline behind every thread wakeup event.
+func dispatchThread(a any) { a.(*Thread).dispatch() }
+
+// worker is a pooled coroutine: a goroutine and its channel pair, reused
+// across finished threads so models that spawn threads per transaction
+// (e.g. the coherence homes) pay the goroutine and channel setup once.
+// All pool accesses happen in simulation context — at most one thread or
+// callback runs at a time — so the pool needs no locking, and every
+// cross-goroutine access is ordered by the resume/yield handoffs.
+type worker struct {
+	resume chan struct{}
+	yield  chan struct{}
+	t      *Thread // thread to run next; nil tells the loop to exit
+	fn     func(*Thread)
+}
+
+func (w *worker) loop(e *Engine) {
+	for {
+		<-w.resume
+		if w.t == nil {
+			return // reaped: the engine drained its queue
+		}
+		t, fn := w.t, w.fn
+		w.t, w.fn = nil, nil
+		fn(t)
+		t.done = true
+		e.liveThreads--
+		e.pool = append(e.pool, w)
+		t.yield <- struct{}{}
+	}
 }
 
 // Go spawns fn as a new simulation thread named name. The thread begins
 // running at the current simulation time (via a scheduled event).
 func (e *Engine) Go(name string, fn func(*Thread)) *Thread {
+	var w *worker
+	if n := len(e.pool); n > 0 {
+		w = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+	} else {
+		w = &worker{
+			resume: make(chan struct{}),
+			yield:  make(chan struct{}),
+		}
+		go w.loop(e)
+	}
 	t := &Thread{
 		eng:    e,
 		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		resume: w.resume,
+		yield:  w.yield,
 		parked: true,
 	}
+	t.wake = Event{Fn: dispatchThread, Arg: t}
+	w.t, w.fn = t, fn
 	e.liveThreads++
-	go func() {
-		<-t.resume
-		fn(t)
-		t.done = true
-		t.eng.liveThreads--
-		t.yield <- struct{}{}
-	}()
-	e.At(e.now, t.dispatch)
+	e.AtEvent(e.now, &t.wake)
 	return t
+}
+
+// reapWorkers shuts down the idle pooled coroutines. Run and RunUntil call
+// it on every return — however the run ended — so a discarded engine leaks
+// no goroutines and pooling never outlives the run that benefited from it
+// (workers of deadlocked threads are mid-function and stay, exactly like
+// the unpooled design). Spawns after the reap simply start fresh workers.
+func (e *Engine) reapWorkers() {
+	for i, w := range e.pool {
+		w.resume <- struct{}{} // w.t == nil: the loop exits
+		e.pool[i] = nil
+	}
+	e.pool = e.pool[:0]
 }
 
 // dispatch resumes the thread from engine context and blocks until it parks
@@ -61,6 +115,23 @@ func (t *Thread) park() {
 	<-t.resume
 }
 
+// Park suspends the thread until another component wakes it (Wake, a Cond
+// signal, or a timed wakeup). As with Cond.Wait, callers re-check their
+// predicate in a loop: dispatches may be spurious. Must be called from the
+// thread's own goroutine.
+func (t *Thread) Park() { t.park() }
+
+// Wake schedules a dispatch of t at the current instant if t is parked —
+// the allocation-free single-waiter completion path (a Cond degenerates to
+// this when exactly one thread can be waiting). Must be called from engine
+// context. Wakes delivered while t is running are dropped, matching the
+// Cond contract that only parked threads are woken.
+func (t *Thread) Wake() {
+	if t.parked && !t.done {
+		t.eng.AtEvent(t.eng.now, &t.wake)
+	}
+}
+
 // Name reports the thread's name.
 func (t *Thread) Name() string { return t.name }
 
@@ -81,7 +152,7 @@ func (t *Thread) WaitUntil(tm Time) {
 	if tm == t.eng.now {
 		return
 	}
-	t.eng.At(tm, t.dispatch)
+	t.eng.AtEvent(tm, &t.wake)
 	t.park()
 }
 
@@ -108,10 +179,18 @@ func (e *Engine) LiveThreads() int { return e.liveThreads }
 type Cond struct {
 	eng     *Engine
 	waiters []*Thread
+	bcast   Event // pre-built deferred-broadcast record for BroadcastAt
 }
 
+// condBroadcast is the trampoline behind Cond.BroadcastAt events.
+func condBroadcast(a any) { a.(*Cond).Broadcast() }
+
 // NewCond returns a condition bound to engine e.
-func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+func NewCond(e *Engine) *Cond {
+	c := &Cond{eng: e}
+	c.bcast = Event{Fn: condBroadcast, Arg: c}
+	return c
+}
 
 // Wait suspends t until a Signal or Broadcast wakes it. As with sync.Cond,
 // callers should re-check their predicate in a loop.
@@ -120,24 +199,35 @@ func (c *Cond) Wait(t *Thread) {
 	t.park()
 }
 
-// Signal wakes the oldest waiter, if any.
+// Signal wakes the oldest waiter, if any. Removal shifts the FIFO in
+// place (rather than re-slicing) so the queue's capacity is kept and the
+// wait/signal steady state allocates nothing.
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
 	}
 	t := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.eng.At(c.eng.now, t.dispatch)
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = nil
+	c.waiters = c.waiters[:n]
+	c.eng.AtEvent(c.eng.now, &t.wake)
 }
 
 // Broadcast wakes all current waiters.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, t := range ws {
-		tt := t
-		c.eng.At(c.eng.now, tt.dispatch)
+	for _, t := range c.waiters {
+		c.eng.AtEvent(c.eng.now, &t.wake)
 	}
+	clear(c.waiters)
+	c.waiters = c.waiters[:0]
+}
+
+// BroadcastAt schedules a Broadcast at absolute time tm by rescheduling the
+// condition's pre-built record: the deferred-wakeup idiom (CDC visibility,
+// credit return) without a per-call closure. Waiters are collected when the
+// broadcast fires, not when it is scheduled.
+func (c *Cond) BroadcastAt(tm Time) {
+	c.eng.AtEvent(tm, &c.bcast)
 }
 
 // Waiters reports the number of threads currently waiting.

@@ -128,9 +128,10 @@ func Serve(cfg ServeConfig) ServeResult {
 	if err != nil {
 		panic(err)
 	}
+	submit := func(a any) { sch.Submit(a.(*sched.Job)) }
 	for _, a := range serveArrivals(cfg) {
 		job := a.Job
-		sys.Eng.At(a.At, func() { sch.Submit(&job) })
+		sys.Eng.AtArg(a.At, submit, &job)
 	}
 	sys.Run()
 	return ServeResult{Policy: cfg.Policy, Offered: cfg.Jobs, Stats: sch.Stats()}

@@ -107,7 +107,11 @@ func New(cfg Config) *System {
 		cfg.EFPGAs = 0
 	}
 
-	eng := sim.NewEngine()
+	// Pre-size the event queue for a full Dolly instance so the kernel's
+	// calendar reaches steady state without growing mid-run. Concurrently
+	// pending events are bounded by component count (each clocked model
+	// keeps O(1) events in flight), so 1k covers the largest configs.
+	eng := sim.NewEngineCap(1024)
 	fastClk := sim.NewClock("sys", params.CPUClockPS)
 
 	tilesPerAdapter := 1 // C-tile
