@@ -9,6 +9,9 @@
 package duet_test
 
 import (
+	"flag"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"duet/internal/accel"
@@ -19,6 +22,24 @@ import (
 	"duet/internal/sim"
 	"duet/internal/workload"
 )
+
+// studyParallel is the sweep benches' study-pool width: the standard
+// `go test -parallel N` flag (which the testing package registers as
+// test.parallel and otherwise applies only to parallel tests), so
+//
+//	go test -bench 'Fig9|Fig10|Ablation' -parallel 1 .
+//	go test -bench 'Fig9|Fig10|Ablation' -parallel 4 .
+//
+// compare the sequential baseline against a 4-wide pool on identical
+// grids. It defaults to GOMAXPROCS, like duetsim -parallel.
+func studyParallel() int {
+	if f := flag.Lookup("test.parallel"); f != nil {
+		if n, err := strconv.Atoi(f.Value.String()); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // BenchmarkTableI exercises the component area model (Table I): the
 // linear MOSFET scaling of every published component.
@@ -58,6 +79,17 @@ func benchFig9(b *testing.B, m workload.Mechanism) {
 	b.ReportMetric(r.Breakdown[sim.CatCDC].Nanoseconds(), "cdc-ns")
 }
 
+// BenchmarkFig9Sweep regenerates the full Fig. 9 grid (6 mechanisms x 3
+// frequencies) through the study runner at the -parallel pool width —
+// the wall-clock acceptance probe for the parallel runner.
+func BenchmarkFig9Sweep(b *testing.B) {
+	var rows []workload.Fig9Row
+	for i := 0; i < b.N; i++ {
+		rows = workload.Fig9P(studyParallel(), nil)
+	}
+	b.ReportMetric(float64(len(rows)), "points")
+}
+
 func BenchmarkFig9_NormalReg(b *testing.B)     { benchFig9(b, workload.NormalReg) }
 func BenchmarkFig9_ShadowReg(b *testing.B)     { benchFig9(b, workload.ShadowReg) }
 func BenchmarkFig9_CPUPullProxy(b *testing.B)  { benchFig9(b, workload.CPUPullProxy) }
@@ -72,6 +104,16 @@ func benchFig10(b *testing.B, m workload.Mechanism) {
 		r = workload.MeasureBandwidth(m, 100)
 	}
 	b.ReportMetric(r.MBps, "MB/s")
+}
+
+// BenchmarkFig10Sweep regenerates the full Fig. 10 grid (6 mechanisms x
+// 5 frequencies) through the study runner at the -parallel pool width.
+func BenchmarkFig10Sweep(b *testing.B) {
+	var rows []workload.Fig10Row
+	for i := 0; i < b.N; i++ {
+		rows = workload.Fig10P(studyParallel(), nil)
+	}
+	b.ReportMetric(float64(len(rows)), "points")
 }
 
 func BenchmarkFig10_NormalReg(b *testing.B)     { benchFig10(b, workload.NormalReg) }
@@ -89,6 +131,16 @@ func benchFig11(b *testing.B, k workload.ContentionKind, procs int) {
 		r = workload.MeasureContention(k, procs)
 	}
 	b.ReportMetric(r.PerProcMBps, "MB/s-per-proc")
+}
+
+// BenchmarkFig11Sweep regenerates a Fig. 11 grid (4 series x 4 processor
+// counts) through the study runner at the -parallel pool width.
+func BenchmarkFig11Sweep(b *testing.B) {
+	var rows []workload.Fig11Row
+	for i := 0; i < b.N; i++ {
+		rows = workload.Fig11P(studyParallel(), []int{1, 2, 4, 8})
+	}
+	b.ReportMetric(float64(len(rows)), "points")
 }
 
 func BenchmarkFig11_NormalWrite8(b *testing.B) { benchFig11(b, workload.NormalRegWrite, 8) }
@@ -203,6 +255,51 @@ func BenchmarkServeCluster(b *testing.B) {
 }
 
 // --- Ablation benches (design choices DESIGN.md calls out) -----------------
+
+// BenchmarkAblationSweep runs the hub-window + CDC-depth ablation grid
+// (`duetsim ablate`) through the study runner at the -parallel width.
+func BenchmarkAblationSweep(b *testing.B) {
+	var res workload.AblationResult
+	for i := 0; i < b.N; i++ {
+		res = workload.Ablation(studyParallel(), nil, nil, 100)
+	}
+	b.ReportMetric(float64(len(res.HubWindow)+len(res.SyncDepth)), "points")
+}
+
+// BenchmarkServeStream1M is the streaming-stats acceptance run: one
+// million offered jobs through a 4-shard cluster with fixed-memory
+// digests. Per-shard stats memory (the digest table) must stay in the
+// tens of kilobytes however far the job count grows; the exact-mode
+// equivalent would retain 8 MB of raw samples per million jobs on top
+// of the job ledgers.
+func BenchmarkServeStream1M(b *testing.B) {
+	var digestBytes, p99 float64
+	for i := 0; i < b.N; i++ {
+		r, err := workload.ServeCluster(workload.ClusterConfig{
+			ServeConfig: workload.ServeConfig{
+				Policy: sched.FIFO, Jobs: 1_000_000, Seed: 1, MeanGapUS: 30,
+				QueueCap: 4096, Stats: sched.StatsStreaming,
+			},
+			Shards:   4,
+			FrontEnd: cluster.RoundRobin,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Merged.Completed != 1_000_000 {
+			b.Fatalf("completed %d of 1M", r.Merged.Completed)
+		}
+		digestBytes = 0
+		for _, s := range r.PerShard {
+			if m := float64(s.Digest.MemoryBytes()); m > digestBytes {
+				digestBytes = m
+			}
+		}
+		p99 = float64(r.Merged.P99)
+	}
+	b.ReportMetric(digestBytes, "max-shard-digest-B")
+	b.ReportMetric(p99, "p99-ps")
+}
 
 // BenchmarkAblation_BFSLockDiscipline compares the BFS baseline's naive
 // test-and-set lock against an MCS queue lock: the Duet speedup shrinks

@@ -78,7 +78,13 @@ type ShardResult struct {
 
 	// Sojourns holds every completed job's submit-to-finish latency in
 	// completion order — the raw samples behind exact merged quantiles.
+	// Nil in streaming mode, where Digest replaces it.
 	Sojourns []sim.Time
+	// Digest is the fixed-memory sojourn summary harvested when the
+	// shard's scheduler runs with sched.StatsStreaming: per-shard stats
+	// memory stays O(1) in the job count and Merge combines digests
+	// instead of pooling raw samples. Nil in exact mode.
+	Digest *sched.Digest
 	// WaitSum and ServiceSum are exact sums over completed jobs, kept so
 	// merged means are computed from totals rather than re-divided
 	// per-shard means.
@@ -152,17 +158,24 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 	return res, nil
 }
 
-// runShard plays one shard's sub-stream through its replica, harvesting
-// per-job results through the scheduler's OnResult drain hook.
+// runShard plays one shard's sub-stream through its replica. In exact
+// mode per-job results are harvested through the scheduler's OnResult
+// drain hook; a streaming-stats scheduler already folds every job into
+// its own fixed-memory digest and exact sums, so the shard reads those
+// aggregates back after the run instead of accumulating a parallel copy
+// per job — shard stats memory stays flat however many jobs the stream
+// offers.
 func runShard(shard int, seed int64, r *Replica, arrivals []Arrival) (ShardResult, error) {
 	sr := ShardResult{Shard: shard, Seed: seed, Assigned: len(arrivals)}
-	r.Sch.OnResult = func(j *sched.Job) {
-		if j.Err != nil {
-			return
+	if r.Sch.Config().Stats != sched.StatsStreaming {
+		r.Sch.OnResult = func(j *sched.Job) {
+			if j.Err != nil {
+				return
+			}
+			sr.Sojourns = append(sr.Sojourns, j.Sojourn())
+			sr.WaitSum += j.Wait()
+			sr.ServiceSum += j.Service()
 		}
-		sr.Sojourns = append(sr.Sojourns, j.Sojourn())
-		sr.WaitSum += j.Wait()
-		sr.ServiceSum += j.Service()
 	}
 	submit := func(a any) { r.Sch.Submit(a.(*sched.Job)) }
 	for _, a := range arrivals {
@@ -171,5 +184,12 @@ func runShard(shard int, seed int64, r *Replica, arrivals []Arrival) (ShardResul
 	}
 	err := r.Run()
 	sr.Stats = r.Sch.Stats()
+	if d, waits, services, ok := r.Sch.SojournDigest(); ok {
+		// The digest is the scheduler's own table, adopted by the shard
+		// result; the replica is discarded after this run, so nothing
+		// else writes to it.
+		sr.Digest = d
+		sr.WaitSum, sr.ServiceSum = waits, services
+	}
 	return sr, err
 }

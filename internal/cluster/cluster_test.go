@@ -176,6 +176,37 @@ func TestMergeExactQuantiles(t *testing.T) {
 	}
 }
 
+// TestMergeMixedModeQuantiles: when exact and streaming shards meet in
+// one merge (nothing forbids a caller mixing modes per shard), the
+// quantiles must still rank the whole population — exact shards' raw
+// samples fold into the merged digest at the digest's precision rather
+// than being silently dropped.
+func TestMergeMixedModeQuantiles(t *testing.T) {
+	exact := cluster.ShardResult{Sojourns: []sim.Time{900 * sim.US, 950 * sim.US, 1000 * sim.US}}
+	exact.Stats.Completed = 3
+	streaming := cluster.ShardResult{Digest: &sched.Digest{}}
+	fast := []sim.Time{10 * sim.US, 20 * sim.US, 30 * sim.US, 40 * sim.US, 50 * sim.US, 60 * sim.US, 70 * sim.US}
+	for _, v := range fast {
+		streaming.Digest.Add(v)
+	}
+	streaming.Stats.Completed = len(fast)
+
+	m := cluster.Merge([]cluster.ShardResult{exact, streaming})
+	pooled := append(append([]sim.Time(nil), exact.Sojourns...), fast...)
+	for _, q := range []struct {
+		p    float64
+		got  sim.Time
+		want sim.Time
+	}{{50, m.P50, sched.Percentile(pooled, 50)}, {99, m.P99, sched.Percentile(pooled, 99)}} {
+		if q.got < q.want || q.got > q.want+sim.Time(float64(q.want)*sched.DigestRelError)+1 {
+			t.Fatalf("mixed-mode p%v = %v, want pooled %v within the digest bound", q.p, q.got, q.want)
+		}
+	}
+	if m.Completed != 10 {
+		t.Fatalf("merged completed = %d", m.Completed)
+	}
+}
+
 // TestRunErrors: configuration and replica failures surface with their
 // shard attribution; all goroutines are still joined.
 func TestRunErrors(t *testing.T) {

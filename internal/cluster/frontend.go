@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 
@@ -38,6 +39,10 @@ func (f FrontEnd) String() string {
 	}
 	return names[f]
 }
+
+// MarshalJSON encodes the front end as its String name for
+// machine-readable study output.
+func (f FrontEnd) MarshalJSON() ([]byte, error) { return json.Marshal(f.String()) }
 
 // FrontEndByName parses a front-end name as printed by String.
 func FrontEndByName(name string) (FrontEnd, error) {

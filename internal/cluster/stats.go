@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"slices"
 
 	"duet/internal/sched"
 	"duet/internal/sim"
@@ -15,13 +16,17 @@ import (
 // Latency quantiles are merged exactly: the per-job sojourn samples of
 // every shard are pooled and ranked over the full population — merging
 // pre-binned per-shard p50/p99 values would be approximate and
-// order-dependent, pooling raw samples is neither.
+// order-dependent, pooling raw samples is neither. Shards harvested in
+// streaming-stats mode carry a fixed-memory sched.Digest instead of raw
+// samples; digests merge by elementwise bucket addition, which is also
+// order-independent, at the digest's documented relative value error.
 //
 // With a single shard the merge is the identity on its Stats, which is
 // what ties the cluster's determinism contract back to workload.Serve.
 func Merge(shards []ShardResult) sched.Stats {
 	var m sched.Stats
 	var sojourns []sim.Time
+	var digest *sched.Digest
 	var waits, services sim.Time
 	for _, s := range shards {
 		m.Completed += s.Stats.Completed
@@ -33,6 +38,12 @@ func Merge(shards []ShardResult) sched.Stats {
 			m.Makespan = s.Stats.Makespan
 		}
 		sojourns = append(sojourns, s.Sojourns...)
+		if s.Digest != nil {
+			if digest == nil {
+				digest = &sched.Digest{}
+			}
+			digest.Merge(s.Digest)
+		}
 		waits += s.WaitSum
 		services += s.ServiceSum
 	}
@@ -43,8 +54,21 @@ func Merge(shards []ShardResult) sched.Stats {
 			m.ThroughputPerMS = float64(m.Completed) / (float64(m.Makespan) / float64(sim.MS))
 		}
 	}
-	m.P50 = sched.Percentile(sojourns, 50)
-	m.P99 = sched.Percentile(sojourns, 99)
+	if digest != nil {
+		// Mixed modes (exact and streaming shards in one cluster) still
+		// rank over the whole population: exact shards' raw samples fold
+		// into the merged digest, at the digest's precision.
+		for _, v := range sojourns {
+			digest.Add(v)
+		}
+		m.P50 = digest.Quantile(50)
+		m.P99 = digest.Quantile(99)
+	} else {
+		// Sort the pooled population once; both ranks come from it.
+		slices.Sort(sojourns)
+		m.P50 = sched.PercentileSorted(sojourns, 50)
+		m.P99 = sched.PercentileSorted(sojourns, 99)
+	}
 	for si, s := range shards {
 		for _, f := range s.Stats.Fabrics {
 			if len(shards) > 1 {

@@ -35,18 +35,6 @@ const (
 // IRQTLBFault is the cause string of Memory Hub page-fault interrupts.
 const IRQTLBFault = "duet-tlb-fault"
 
-// SyncStagesOverride, when nonzero, overrides the synchronizer depth of
-// every adapter CDC FIFO built afterwards (ablation knob; the paper's
-// design point is params.SyncStages = 2).
-var SyncStagesOverride int
-
-func syncStages() int {
-	if SyncStagesOverride > 0 {
-		return SyncStagesOverride
-	}
-	return params.SyncStages
-}
-
 // MMIO address map (offsets from the adapter's base address).
 const (
 	// AdapterStride separates the MMIO windows of successive adapters.
@@ -102,6 +90,11 @@ type AdapterConfig struct {
 	FPSoC bool
 	// IRQ receives TLB-fault interrupts (normally core 0).
 	IRQ IRQSink
+	// SyncStages sets the synchronizer depth of this adapter's CDC FIFOs
+	// (ablation knob; 0 selects the paper's design point,
+	// params.SyncStages = 2). Per-adapter so concurrent systems can sweep
+	// it independently — never a package-level override.
+	SyncStages int
 }
 
 // IRQSink receives interrupts raised by the adapter.
@@ -138,10 +131,11 @@ type Adapter struct {
 	dom    *coherence.Domain
 	fabric *efpga.Fabric
 
-	fastClk  *sim.Clock
-	ctrlTile int
-	base     uint64
-	fpsoc    bool
+	fastClk    *sim.Clock
+	ctrlTile   int
+	base       uint64
+	fpsoc      bool
+	syncStages int
 
 	hubs []*MemHub
 	regs *regFile
@@ -192,11 +186,15 @@ func NewAdapter(eng *sim.Engine, mesh *noc.Mesh, dom *coherence.Domain, fabric *
 		ctrlTile:      cfg.CtrlTile,
 		base:          BaseAddr(cfg.ID),
 		fpsoc:         cfg.FPSoC,
+		syncStages:    cfg.SyncStages,
 		irq:           cfg.IRQ,
 		ctrlEnabled:   true,
 		timeoutCycles: params.DefaultTimeoutCycles,
 		queues:        make(map[int][]*inflight),
 		pendingNormal: make(map[uint64]*inflight),
+	}
+	if a.syncStages <= 0 {
+		a.syncStages = params.SyncStages
 	}
 	a.decodeFn = func(x any) { a.decode(x.(*inflight)) }
 	for i, tile := range cfg.HubTiles {

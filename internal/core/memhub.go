@@ -123,9 +123,9 @@ func newMemHub(a *Adapter, idx, tile int, cacheID int) *MemHub {
 		cfg.FillCycles = params.L2FillCycles
 		cfg.FwdCycles = params.ProxyFwdCycles
 		h.proxy = a.dom.NewCache(cfg)
-		h.in = cdc.NewFifo(a.eng, cfg.Name+".in", a.fabric.Clock(), a.fastClk, params.FifoDepth, syncStages())
+		h.in = cdc.NewFifo(a.eng, cfg.Name+".in", a.fabric.Clock(), a.fastClk, params.FifoDepth, a.syncStages)
 		h.inPush = cdc.NewPusher(a.eng, h.in)
-		h.out = cdc.NewFifo(a.eng, cfg.Name+".out", a.fastClk, a.fabric.Clock(), params.FifoDepth, syncStages())
+		h.out = cdc.NewFifo(a.eng, cfg.Name+".out", a.fastClk, a.fabric.Clock(), params.FifoDepth, a.syncStages)
 		h.outPush = cdc.NewPusher(a.eng, h.out)
 		a.eng.Go(cfg.Name+".serve", h.serve)
 	}

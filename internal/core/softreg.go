@@ -147,9 +147,9 @@ func newRegFile(a *Adapter, specs []SoftRegSpec, fpsoc bool) *regFile {
 	}
 	slow := a.fabric.Clock()
 	fast := a.fastClk
-	rf.down = cdc.NewFifo(a.eng, "ctrl.down", fast, slow, params.FifoDepth, syncStages())
+	rf.down = cdc.NewFifo(a.eng, "ctrl.down", fast, slow, params.FifoDepth, a.syncStages)
 	rf.downPush = cdc.NewPusher(a.eng, rf.down)
-	rf.up = cdc.NewFifo(a.eng, "ctrl.up", slow, fast, params.FifoDepth, syncStages())
+	rf.up = cdc.NewFifo(a.eng, "ctrl.up", slow, fast, params.FifoDepth, a.syncStages)
 	rf.upPush = cdc.NewPusher(a.eng, rf.up)
 
 	a.eng.Go("ctrl.fabric-engine", rf.fabricEngine)

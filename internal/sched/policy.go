@@ -1,6 +1,9 @@
 package sched
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Policy selects how queued jobs are matched with idle eFPGAs.
 type Policy int
@@ -29,6 +32,10 @@ func (p Policy) String() string {
 	}
 	return names[p]
 }
+
+// MarshalJSON encodes the policy as its String name, so machine-readable
+// study output stays self-describing and stable across enum reorderings.
+func (p Policy) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
 
 // PolicyByName parses a policy name as printed by String.
 func PolicyByName(name string) (Policy, error) {

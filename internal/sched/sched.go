@@ -94,6 +94,10 @@ type Config struct {
 	// SettleCycles is the post-configuration settle time in fabric-clock
 	// cycles (defaults to 1024; see the timing-model constants above).
 	SettleCycles int64
+	// Stats selects the aggregation mode: StatsExact (default) retains
+	// per-job ledgers for exact percentiles; StatsStreaming folds jobs
+	// into fixed-memory aggregates for serve-scale runs (see stats.go).
+	Stats StatsMode
 }
 
 // worker tracks one eFPGA (fabric + adapter) and its accumulated stats.
@@ -128,10 +132,14 @@ type Scheduler struct {
 	queue   []*Job
 	nextID  int
 
-	// Outcome ledgers.
+	// Outcome ledgers (exact mode; streaming mode keeps them empty and
+	// folds outcomes into agg instead).
 	Completed []*Job
 	Failed    []*Job // unknown app, over-capacity bitstream, programming error
 	Rejected  int    // bounced by the full admission queue
+
+	// agg holds the streaming-mode running aggregates; nil in exact mode.
+	agg *aggregate
 
 	// OnResult, when set, is invoked at each job's finish instant — once
 	// per completed or failed job, in completion order — so a front end
@@ -159,6 +167,9 @@ func New(eng *sim.Engine, adapters []*core.Adapter, fabrics []*efpga.Fabric, cfg
 		cfg.SettleCycles = defaultSettleCycles
 	}
 	s := &Scheduler{eng: eng, cfg: cfg, apps: make(map[string]*App)}
+	if cfg.Stats == StatsStreaming {
+		s.agg = &aggregate{}
+	}
 	for i := range adapters {
 		s.workers = append(s.workers, &worker{id: i, ad: adapters[i], fab: fabrics[i]})
 	}
@@ -233,10 +244,7 @@ func (s *Scheduler) Submit(j *Job) bool {
 	if !ok {
 		j.Err = fmt.Errorf("sched: unknown app %q", j.App)
 		j.Finish = s.eng.Now() // dies at submit: zero-length lifetime
-		s.Failed = append(s.Failed, j)
-		if s.OnResult != nil {
-			s.OnResult(j)
-		}
+		s.retire(j)
 		return false
 	}
 	fits := false
@@ -249,10 +257,7 @@ func (s *Scheduler) Submit(j *Job) bool {
 	if !fits {
 		j.Err = fmt.Errorf("sched: bitstream %q (%+v) exceeds every fabric's capacity", j.App, app.BS.Res)
 		j.Finish = s.eng.Now() // dies at submit: zero-length lifetime
-		s.Failed = append(s.Failed, j)
-		if s.OnResult != nil {
-			s.OnResult(j)
-		}
+		s.retire(j)
 		return false
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
@@ -350,10 +355,7 @@ func (s *Scheduler) finish(j *Job) {
 	w := s.workers[j.Fabric]
 	j.Finish = s.eng.Now()
 	w.jobs++
-	s.Completed = append(s.Completed, j)
-	if s.OnResult != nil {
-		s.OnResult(j)
-	}
+	s.retire(j)
 	s.release(w)
 }
 
@@ -361,11 +363,24 @@ func (s *Scheduler) finish(j *Job) {
 func (s *Scheduler) fail(w *worker, j *Job, err error) {
 	j.Err = err
 	j.Finish = s.eng.Now()
-	s.Failed = append(s.Failed, j)
+	s.retire(j)
+	s.release(w)
+}
+
+// retire records a finished job — completed or failed — in the
+// configured aggregation mode and notifies OnResult. Streaming mode
+// keeps no reference to the job: after OnResult returns it is garbage.
+func (s *Scheduler) retire(j *Job) {
+	if s.agg != nil {
+		s.agg.finish(j)
+	} else if j.Err != nil {
+		s.Failed = append(s.Failed, j)
+	} else {
+		s.Completed = append(s.Completed, j)
+	}
 	if s.OnResult != nil {
 		s.OnResult(j)
 	}
-	s.release(w)
 }
 
 // release returns a worker to the idle pool and re-runs dispatch.

@@ -1,11 +1,78 @@
 package sched
 
 import (
+	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"duet/internal/sim"
 )
+
+// StatsMode selects how the scheduler aggregates per-job outcomes.
+type StatsMode int
+
+// Stats modes.
+const (
+	// StatsExact retains every completed/failed job in the Completed and
+	// Failed ledgers and computes exact nearest-rank percentiles over the
+	// full sojourn population — O(jobs) memory, the default.
+	StatsExact StatsMode = iota
+	// StatsStreaming folds each job into O(1) running aggregates at its
+	// finish instant — counters, sums, makespan, and a fixed-memory
+	// Digest for sojourn quantiles — and retains no per-job state. P50
+	// and P99 then carry the digest's documented relative value error
+	// (DigestRelError, <0.8%); every other Stats field stays exact.
+	// The Completed and Failed ledgers remain empty; per-job harvesting
+	// still works through OnResult.
+	StatsStreaming
+	NumStatsModes
+)
+
+func (m StatsMode) String() string {
+	names := [...]string{"exact", "stream"}
+	if m < 0 || int(m) >= len(names) {
+		return "unknown"
+	}
+	return names[m]
+}
+
+// StatsModeByName parses a stats mode as printed by String.
+func StatsModeByName(name string) (StatsMode, error) {
+	for m := StatsMode(0); m < NumStatsModes; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown stats mode %q", name)
+}
+
+// aggregate is the streaming-mode replacement for the per-job ledgers:
+// everything Stats needs, folded in at finish time in O(1) space.
+type aggregate struct {
+	completed, failed int
+	deadlineMisses    int
+	makespan          sim.Time
+	waitSum           sim.Time
+	serviceSum        sim.Time
+	sojourns          Digest
+}
+
+func (g *aggregate) finish(j *Job) {
+	if j.Finish > g.makespan {
+		g.makespan = j.Finish
+	}
+	if j.Err != nil {
+		g.failed++
+		return
+	}
+	g.completed++
+	g.waitSum += j.Wait()
+	g.serviceSum += j.Service()
+	if j.MissedDeadline() {
+		g.deadlineMisses++
+	}
+	g.sojourns.Add(j.Sojourn())
+}
 
 // FabricStats summarizes one eFPGA's share of a scheduler run.
 type FabricStats struct {
@@ -32,9 +99,44 @@ type Stats struct {
 	Fabrics []FabricStats
 }
 
+// SojournDigest exposes the streaming-mode sojourn digest together with
+// the exact wait/service sums it was accumulated alongside, so a front
+// end (e.g. internal/cluster) can harvest per-shard statistics without
+// re-accumulating a parallel copy per job. ok is false in exact mode.
+// The digest is the scheduler's own: callers merge it or read quantiles,
+// but must not Add to it.
+func (s *Scheduler) SojournDigest() (d *Digest, waitSum, serviceSum sim.Time, ok bool) {
+	if s.agg == nil {
+		return nil, 0, 0, false
+	}
+	return &s.agg.sojourns, s.agg.waitSum, s.agg.serviceSum, true
+}
+
 // Stats computes the run summary at the current instant.
 func (s *Scheduler) Stats() Stats {
-	st := Stats{
+	var st Stats
+	if s.agg != nil {
+		// Streaming mode: everything was folded in at finish time.
+		g := s.agg
+		st = Stats{
+			Completed:      g.completed,
+			Failed:         g.failed,
+			Rejected:       s.Rejected,
+			DeadlineMisses: g.deadlineMisses,
+			Makespan:       g.makespan,
+			P50:            g.sojourns.Quantile(50),
+			P99:            g.sojourns.Quantile(99),
+		}
+		if g.completed > 0 {
+			st.MeanWait = g.waitSum / sim.Time(g.completed)
+			st.MeanService = g.serviceSum / sim.Time(g.completed)
+			if st.Makespan > 0 {
+				st.ThroughputPerMS = float64(g.completed) / (float64(st.Makespan) / float64(sim.MS))
+			}
+		}
+		return s.fabricStats(st)
+	}
+	st = Stats{
 		Completed: len(s.Completed),
 		Failed:    len(s.Failed),
 		Rejected:  s.Rejected,
@@ -67,8 +169,16 @@ func (s *Scheduler) Stats() Stats {
 			st.ThroughputPerMS = float64(n) / (float64(st.Makespan) / float64(sim.MS))
 		}
 	}
-	st.P50 = Percentile(sojourns, 50)
-	st.P99 = Percentile(sojourns, 99)
+	// Sort the population once and take both ranks from it, instead of
+	// copying + sorting per Percentile call.
+	slices.Sort(sojourns)
+	st.P50 = PercentileSorted(sojourns, 50)
+	st.P99 = PercentileSorted(sojourns, 99)
+	return s.fabricStats(st)
+}
+
+// fabricStats fills the per-worker tail of a run summary.
+func (s *Scheduler) fabricStats(st Stats) Stats {
 	for _, w := range s.workers {
 		fs := FabricStats{
 			Name: w.fab.Name, Jobs: w.jobs, Reconfigs: w.reconfigs, Busy: w.busyTotal,
@@ -83,13 +193,21 @@ func (s *Scheduler) Stats() Stats {
 }
 
 // Percentile returns the p-th percentile (nearest-rank) of durs; zero
-// when durs is empty. durs is not modified.
+// when durs is empty. durs is not modified. Callers taking several
+// percentiles of one population should sort once with slices.Sort and
+// use PercentileSorted instead.
 func Percentile(durs []sim.Time, p float64) sim.Time {
-	if len(durs) == 0 {
+	sorted := append([]sim.Time(nil), durs...)
+	slices.Sort(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted returns the p-th percentile (nearest-rank) of an
+// ascending-sorted population; zero when it is empty.
+func PercentileSorted(sorted []sim.Time, p float64) sim.Time {
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]sim.Time(nil), durs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1

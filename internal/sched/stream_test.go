@@ -1,0 +1,102 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"duet/internal/efpga"
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// runStreamWorkload plays an identical job mix through a fresh system in
+// the given stats mode and returns the scheduler.
+func runStreamWorkload(t *testing.T, mode sched.StatsMode) *sched.Scheduler {
+	t.Helper()
+	sys, sch := newServeSystem(t, 2, sched.Config{Policy: sched.Affinity, Stats: mode})
+	a := mkBitstream("A", efpga.Resources{LUTs: 100}, 100)
+	b := mkBitstream("B", efpga.Resources{LUTs: 100}, 200)
+	for _, bs := range []*efpga.Bitstream{a, b} {
+		if err := sch.RegisterApp(sched.App{BS: bs, FixedCycles: 2000, CyclesPerItem: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		app := "A"
+		if i%3 == 0 {
+			app = "B"
+		}
+		j := &sched.Job{App: app, InputSize: 100 + 37*i}
+		if i%10 == 5 {
+			j.Deadline = 1 // 1ps: must miss
+		}
+		sch.Submit(j)
+	}
+	sch.Submit(&sched.Job{App: "phantom"}) // fails at submit
+	sys.Run()
+	return sch
+}
+
+// TestStreamingStatsMatchExact: in streaming mode every Stats field must
+// match exact mode precisely except P50/P99, which carry the digest's
+// documented relative error; the per-job ledgers must stay empty.
+func TestStreamingStatsMatchExact(t *testing.T) {
+	exact := runStreamWorkload(t, sched.StatsExact).Stats()
+	schS := runStreamWorkload(t, sched.StatsStreaming)
+	stream := schS.Stats()
+
+	if len(schS.Completed) != 0 || len(schS.Failed) != 0 {
+		t.Fatalf("streaming mode retained %d completed / %d failed jobs",
+			len(schS.Completed), len(schS.Failed))
+	}
+	if stream.Completed != exact.Completed || stream.Failed != exact.Failed ||
+		stream.Rejected != exact.Rejected || stream.Reconfigs != exact.Reconfigs ||
+		stream.DeadlineMisses != exact.DeadlineMisses {
+		t.Fatalf("counters diverged:\nstream %+v\nexact  %+v", stream, exact)
+	}
+	if stream.Makespan != exact.Makespan || stream.ThroughputPerMS != exact.ThroughputPerMS {
+		t.Fatalf("makespan/throughput diverged: %v/%v vs %v/%v",
+			stream.Makespan, stream.ThroughputPerMS, exact.Makespan, exact.ThroughputPerMS)
+	}
+	if stream.MeanWait != exact.MeanWait || stream.MeanService != exact.MeanService {
+		t.Fatalf("means diverged: %v/%v vs %v/%v",
+			stream.MeanWait, stream.MeanService, exact.MeanWait, exact.MeanService)
+	}
+	for _, q := range []struct {
+		name      string
+		got, want sim.Time
+	}{{"p50", stream.P50, exact.P50}, {"p99", stream.P99, exact.P99}} {
+		if q.got < q.want {
+			t.Errorf("%s: streaming %v below exact %v", q.name, q.got, q.want)
+		}
+		bound := q.want + sim.Time(float64(q.want)*sched.DigestRelError) + 1
+		if q.got > bound {
+			t.Errorf("%s: streaming %v exceeds exact %v beyond the %.2f%% bound",
+				q.name, q.got, q.want, 100*sched.DigestRelError)
+		}
+	}
+	if fmt.Sprintf("%+v", stream.Fabrics) != fmt.Sprintf("%+v", exact.Fabrics) {
+		t.Fatalf("fabric stats diverged:\n%+v\n%+v", stream.Fabrics, exact.Fabrics)
+	}
+}
+
+// TestStreamingOnResultStillFires: the drain hook contract is mode
+// independent — front ends harvest per-job results the same way.
+func TestStreamingOnResultStillFires(t *testing.T) {
+	sys, sch := newServeSystem(t, 1, sched.Config{Policy: sched.FIFO, Stats: sched.StatsStreaming})
+	bs := mkBitstream("drain", efpga.Resources{LUTs: 10}, 100)
+	if err := sch.RegisterApp(sched.App{BS: bs, FixedCycles: 1000, CyclesPerItem: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	sch.OnResult = func(j *sched.Job) { fired++ }
+	sch.Submit(&sched.Job{App: "drain", InputSize: 4})
+	sch.Submit(&sched.Job{App: "phantom"})
+	sys.Run()
+	if fired != 2 {
+		t.Fatalf("OnResult fired %d times, want 2", fired)
+	}
+	if st := sch.Stats(); st.Completed != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %d completed / %d failed, want 1/1", st.Completed, st.Failed)
+	}
+}

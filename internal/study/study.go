@@ -1,0 +1,104 @@
+// Package study is the deterministic parallel experiment runner behind
+// every figure, ablation, and sweep this repository regenerates. A sweep
+// is a grid of independent points — each point constructs, drains, and
+// summarizes a complete simulated System of its own — so points can run
+// concurrently on a bounded worker pool with results merged in
+// point-index order.
+//
+// Determinism contract (the same one internal/cluster proves per shard):
+// the output of Run is byte-identical to the sequential run regardless of
+// worker count or goroutine interleaving, because
+//
+//  1. every point builds its own sim.Engine and touches no state shared
+//     with other points (no package-level knobs: the one historical
+//     offender, core.SyncStagesOverride, was replaced by a per-system
+//     Config field when this package was introduced);
+//  2. results land in a slice slot owned by the point's index, never in
+//     an order-dependent accumulator; and
+//  3. panics are re-raised for the lowest-indexed failing point after
+//     the pool drains, so even failure output is interleaving-free.
+//
+// Points must not communicate; a point that needs another point's result
+// belongs in a second sweep over the first sweep's output.
+package study
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism resolves a worker-count knob: values <= 0 select
+// GOMAXPROCS (the CLI's -parallel default), anything else is used as
+// given.
+func Parallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes points 0..n-1 on min(parallel, n) workers and returns
+// their results indexed by point. parallel <= 0 means GOMAXPROCS;
+// parallel == 1 runs the points sequentially on the caller's goroutine
+// (the baseline the golden tests compare every other width against).
+// If any point panics, every point still runs, and Run then re-panics
+// with an error naming the lowest-indexed failing point and wrapping its
+// panic value — identical behavior at every pool width, so even the
+// failure path is interleaving-free.
+func Run[R any](parallel, n int, point func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]R, n)
+	panics := make([]any, n)
+	runPoint := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = fmt.Errorf("study: point %d panicked: %v", i, r)
+			}
+		}()
+		out[i] = point(i)
+	}
+
+	parallel = Parallelism(parallel)
+	if parallel > n {
+		parallel = n
+	}
+	if parallel == 1 {
+		for i := 0; i < n; i++ {
+			runPoint(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runPoint(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return out
+}
+
+// Map runs fn over every item on the pool and returns the results in
+// item order — Run for sweeps whose grid is already materialized as a
+// slice of point descriptions.
+func Map[P, R any](parallel int, items []P, fn func(P) R) []R {
+	return Run(parallel, len(items), func(i int) R { return fn(items[i]) })
+}

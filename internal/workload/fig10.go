@@ -6,6 +6,7 @@ import (
 	"duet/internal/cpu"
 	"duet/internal/efpga"
 	"duet/internal/sim"
+	"duet/internal/study"
 )
 
 // Fig10Row is one point of Fig. 10: a mechanism's sustained bandwidth at
@@ -182,18 +183,18 @@ func MeasureBandwidth(mech Mechanism, freqMHz float64) Fig10Row {
 	return Fig10Row{Mechanism: mech, FreqMHz: freqMHz, MBps: mbps}
 }
 
-// Fig10 regenerates the bandwidth study.
-func Fig10(freqs []float64) []Fig10Row {
+// Fig10 regenerates the bandwidth study on a default-width study pool.
+func Fig10(freqs []float64) []Fig10Row { return Fig10P(0, freqs) }
+
+// Fig10P regenerates Fig. 10 on a parallel-wide study pool (<= 0 selects
+// GOMAXPROCS); rows are identical for every pool width.
+func Fig10P(parallel int, freqs []float64) []Fig10Row {
 	if len(freqs) == 0 {
 		freqs = []float64{20, 50, 100, 200, 500}
 	}
-	var rows []Fig10Row
-	for m := Mechanism(0); m < NumMechanisms; m++ {
-		for _, f := range freqs {
-			rows = append(rows, MeasureBandwidth(m, f))
-		}
-	}
-	return rows
+	return study.Run(parallel, int(NumMechanisms)*len(freqs), func(i int) Fig10Row {
+		return MeasureBandwidth(Mechanism(i/len(freqs)), freqs[i%len(freqs)])
+	})
 }
 
 func bytesPerSecMB(bytes int, d sim.Time) float64 {

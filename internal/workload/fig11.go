@@ -1,12 +1,14 @@
 package workload
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"duet"
 	"duet/internal/core"
 	"duet/internal/cpu"
 	"duet/internal/sim"
+	"duet/internal/study"
 
 	"duet/internal/efpga"
 )
@@ -31,6 +33,10 @@ func (k ContentionKind) String() string {
 		"Shadow Reg. Read (This Work)",
 	}[k]
 }
+
+// MarshalJSON encodes the series as its String name for machine-readable
+// study output.
+func (k ContentionKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
 
 // Fig11Row is one point of Fig. 11: per-processor bandwidth with n
 // processors contending on the same soft register (eFPGA at 500 MHz).
@@ -93,18 +99,18 @@ func MeasureContention(kind ContentionKind, procs int) Fig11Row {
 	return Fig11Row{Kind: kind, Procs: procs, PerProcMBps: total / float64(procs)}
 }
 
-// Fig11 regenerates the contention study.
-func Fig11(counts []int) []Fig11Row {
+// Fig11 regenerates the contention study on a default-width study pool.
+func Fig11(counts []int) []Fig11Row { return Fig11P(0, counts) }
+
+// Fig11P regenerates Fig. 11 on a parallel-wide study pool (<= 0 selects
+// GOMAXPROCS); rows are identical for every pool width.
+func Fig11P(parallel int, counts []int) []Fig11Row {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4, 8, 16}
 	}
-	var rows []Fig11Row
-	for k := ContentionKind(0); k < NumContentionKinds; k++ {
-		for _, n := range counts {
-			rows = append(rows, MeasureContention(k, n))
-		}
-	}
-	return rows
+	return study.Run(parallel, int(NumContentionKinds)*len(counts), func(i int) Fig11Row {
+		return MeasureContention(ContentionKind(i/len(counts)), counts[i%len(counts)])
+	})
 }
 
 type accelNop struct{}

@@ -7,6 +7,8 @@
 package workload
 
 import (
+	"encoding/json"
+
 	"duet"
 	"duet/internal/core"
 	"duet/internal/cpu"
@@ -14,6 +16,7 @@ import (
 	"duet/internal/mem"
 	"duet/internal/params"
 	"duet/internal/sim"
+	"duet/internal/study"
 )
 
 // Mechanism names the six communication mechanisms of Fig. 9/10.
@@ -40,6 +43,10 @@ func (m Mechanism) String() string {
 		"eFPGA Pull w/ Slow Cache",
 	}[m]
 }
+
+// MarshalJSON encodes the mechanism as its String name for
+// machine-readable study output.
+func (m Mechanism) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
 
 // Fig9Row is one bar of Fig. 9: a mechanism's round-trip latency at one
 // eFPGA frequency, broken into the paper's four categories.
@@ -210,18 +217,20 @@ func MeasureLatency(mech Mechanism, freqMHz float64) Fig9Row {
 	return row
 }
 
-// Fig9 regenerates the latency study across mechanisms and frequencies.
-func Fig9(freqs []float64) []Fig9Row {
+// Fig9 regenerates the latency study across mechanisms and frequencies
+// on a default-width (GOMAXPROCS) study pool.
+func Fig9(freqs []float64) []Fig9Row { return Fig9P(0, freqs) }
+
+// Fig9P regenerates Fig. 9 on a parallel-wide study pool (<= 0 selects
+// GOMAXPROCS). Every (mechanism, frequency) cell simulates a complete
+// independent System, so the rows are identical for every pool width.
+func Fig9P(parallel int, freqs []float64) []Fig9Row {
 	if len(freqs) == 0 {
 		freqs = []float64{100, 200, 500}
 	}
-	var rows []Fig9Row
-	for m := Mechanism(0); m < NumMechanisms; m++ {
-		for _, f := range freqs {
-			rows = append(rows, MeasureLatency(m, f))
-		}
-	}
-	return rows
+	return study.Run(parallel, int(NumMechanisms)*len(freqs), func(i int) Fig9Row {
+		return MeasureLatency(Mechanism(i/len(freqs)), freqs[i%len(freqs)])
+	})
 }
 
 // lineOf truncates an address to its cache line.

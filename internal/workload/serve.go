@@ -9,6 +9,7 @@ import (
 	"duet/internal/efpga"
 	"duet/internal/sched"
 	"duet/internal/sim"
+	"duet/internal/study"
 )
 
 // This file implements the accelerator-as-a-service study behind
@@ -27,6 +28,11 @@ type ServeConfig struct {
 	Seed      int64   // arrival-process seed (default 1)
 	MeanGapUS float64 // mean inter-arrival gap in microseconds (default 25)
 	QueueCap  int     // admission-queue bound (default sched's 64)
+
+	// Stats selects the scheduler's aggregation mode: exact per-job
+	// ledgers (default) or fixed-memory streaming digests for
+	// million-job runs (see sched.StatsMode).
+	Stats sched.StatsMode
 }
 
 // ServeResult is the outcome of one serve run.
@@ -88,7 +94,7 @@ func newServeSystem(cfg ServeConfig) (*duet.System, *sched.Scheduler, error) {
 	sys := duet.New(duet.Config{
 		Cores: 1, MemHubs: cfg.MemHubs, EFPGAs: cfg.EFPGAs, Style: duet.StyleDuet,
 	})
-	sch := sys.Scheduler(sched.Config{Policy: cfg.Policy, QueueCap: cfg.QueueCap})
+	sch := sys.Scheduler(sched.Config{Policy: cfg.Policy, QueueCap: cfg.QueueCap, Stats: cfg.Stats})
 	for _, a := range ServeApps {
 		bs := accel.Synthesize(a.Name, func() efpga.Accelerator { return serveStub{} })
 		if err := sch.RegisterApp(sched.App{BS: bs, FixedCycles: a.Fixed, CyclesPerItem: a.PerItem}); err != nil {
@@ -135,4 +141,11 @@ func Serve(cfg ServeConfig) ServeResult {
 	}
 	sys.Run()
 	return ServeResult{Policy: cfg.Policy, Offered: cfg.Jobs, Stats: sch.Stats()}
+}
+
+// ServeStudy runs one Serve per config on a parallel-wide study pool
+// (<= 0 selects GOMAXPROCS), results in config order — the sweep behind
+// `duetsim serve`'s policy table.
+func ServeStudy(parallel int, cfgs []ServeConfig) []ServeResult {
+	return study.Map(parallel, cfgs, Serve)
 }

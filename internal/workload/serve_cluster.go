@@ -1,8 +1,11 @@
 package workload
 
 import (
+	"fmt"
+
 	"duet/internal/cluster"
 	"duet/internal/sched"
+	"duet/internal/study"
 )
 
 // This file implements the sharded study behind `duetsim cluster`: the
@@ -72,4 +75,27 @@ func ServeCluster(cfg ClusterConfig) (ClusterResult, error) {
 		Merged:   res.Merged,
 		PerShard: res.PerShard,
 	}, nil
+}
+
+// ClusterStudy runs one ServeCluster per config on a parallel-wide study
+// pool (<= 0 selects GOMAXPROCS), results in config order. Each point
+// spawns its own shard goroutines inside its pool slot; the first error
+// by config order wins, matching the sequential run.
+func ClusterStudy(parallel int, cfgs []ClusterConfig) ([]ClusterResult, error) {
+	type out struct {
+		res ClusterResult
+		err error
+	}
+	pts := study.Map(parallel, cfgs, func(c ClusterConfig) out {
+		r, err := ServeCluster(c)
+		return out{r, err}
+	})
+	results := make([]ClusterResult, len(pts))
+	for i, p := range pts {
+		if p.err != nil {
+			return nil, fmt.Errorf("cluster study point %d: %w", i, p.err)
+		}
+		results[i] = p.res
+	}
+	return results, nil
 }

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"duet/internal/cluster"
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// These tests pin the study runner's determinism contract at the
+// workload level: a sweep's output must be byte-identical to the
+// -parallel 1 (sequential) run at every pool width. CI runs them under
+// -race, which is what turns "byte-identical" into "and provably not by
+// luck": any shared mutable state between points would trip the
+// detector.
+
+func TestFig9ParallelGolden(t *testing.T) {
+	freqs := []float64{100, 500}
+	seq := Fig9P(1, freqs)
+	for _, parallel := range []int{2, 8} {
+		par := Fig9P(parallel, freqs)
+		if got, want := fmt.Sprintf("%#v", par), fmt.Sprintf("%#v", seq); got != want {
+			t.Fatalf("-parallel %d diverged from sequential:\n%s\n%s", parallel, got, want)
+		}
+	}
+	if len(seq) != int(NumMechanisms)*len(freqs) {
+		t.Fatalf("grid size %d, want %d", len(seq), int(NumMechanisms)*len(freqs))
+	}
+	// Row order is the sequential nesting: mechanism-major, frequency-minor.
+	for i, r := range seq {
+		if r.Mechanism != Mechanism(i/len(freqs)) || r.FreqMHz != freqs[i%len(freqs)] {
+			t.Fatalf("row %d is (%v, %v): grid order broken", i, r.Mechanism, r.FreqMHz)
+		}
+	}
+}
+
+func TestAblationParallelGolden(t *testing.T) {
+	windows, stages := []int{1, 4}, []int{2, 4}
+	seq := Ablation(1, windows, stages, 100)
+	for _, parallel := range []int{3, 8} {
+		par := Ablation(parallel, windows, stages, 100)
+		if got, want := fmt.Sprintf("%#v", par), fmt.Sprintf("%#v", seq); got != want {
+			t.Fatalf("-parallel %d diverged from sequential:\n%s\n%s", parallel, got, want)
+		}
+	}
+	if len(seq.HubWindow) != 2 || len(seq.SyncDepth) != 2 {
+		t.Fatalf("sweep shape off: %+v", seq)
+	}
+	// Deeper synchronizers must cost latency; a wider window must not
+	// lose bandwidth — the sweeps stay physically meaningful when run
+	// concurrently.
+	if seq.SyncDepth[1].Latency <= seq.SyncDepth[0].Latency {
+		t.Fatalf("4-stage CDC (%v) not slower than 2-stage (%v)",
+			seq.SyncDepth[1].Latency, seq.SyncDepth[0].Latency)
+	}
+	if seq.HubWindow[1].MBps <= seq.HubWindow[0].MBps {
+		t.Fatalf("4-outstanding window (%v MB/s) not above 1-outstanding (%v MB/s)",
+			seq.HubWindow[1].MBps, seq.HubWindow[0].MBps)
+	}
+}
+
+func TestClusterStudyParallelGolden(t *testing.T) {
+	var cfgs []ClusterConfig
+	for _, fe := range []cluster.FrontEnd{cluster.HashApp, cluster.RoundRobin, cluster.LeastOutstanding} {
+		cfgs = append(cfgs, ClusterConfig{
+			ServeConfig: ServeConfig{Policy: sched.Affinity, Jobs: 60, Seed: 11},
+			Shards:      2,
+			FrontEnd:    fe,
+		})
+	}
+	seq, err := ClusterStudy(1, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{3, 8} {
+		par, err := ClusterStudy(parallel, cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact-mode results hold no pointers (Digest is nil), so the
+		// formatted dump is a faithful byte-identity probe.
+		if got, want := fmt.Sprintf("%+v", par), fmt.Sprintf("%+v", seq); got != want {
+			t.Fatalf("-parallel %d cluster study diverged from sequential:\n%s\n%s", parallel, got, want)
+		}
+	}
+}
+
+// TestServeStudyParallelGolden: the serve policy sweep behind `duetsim
+// serve` through the pool, against its sequential self and against the
+// direct Serve calls.
+func TestServeStudyParallelGolden(t *testing.T) {
+	var cfgs []ServeConfig
+	for p := sched.Policy(0); p < sched.NumPolicies; p++ {
+		cfgs = append(cfgs, ServeConfig{Policy: p, Jobs: 60, Seed: 5})
+	}
+	seq := ServeStudy(1, cfgs)
+	par := ServeStudy(4, cfgs)
+	if got, want := fmt.Sprintf("%+v", par), fmt.Sprintf("%+v", seq); got != want {
+		t.Fatalf("parallel serve study diverged:\n%s\n%s", got, want)
+	}
+	for i, cfg := range cfgs {
+		if direct := Serve(cfg); !reflect.DeepEqual(direct, seq[i]) {
+			t.Fatalf("study row %d diverged from direct Serve:\n%+v\n%+v", i, seq[i], direct)
+		}
+	}
+}
+
+// TestServeClusterStreamingMatchesExact: a streaming-stats cluster run
+// must agree with the exact run on every counter, sum, and fabric stat,
+// and place P50/P99 within the digest's documented bound — while
+// retaining no raw samples on any shard.
+func TestServeClusterStreamingMatchesExact(t *testing.T) {
+	base := ServeConfig{Policy: sched.Affinity, Jobs: 120, Seed: 7}
+	mk := func(mode sched.StatsMode) ClusterResult {
+		cfg := base
+		cfg.Stats = mode
+		r, err := ServeCluster(ClusterConfig{ServeConfig: cfg, Shards: 3, FrontEnd: cluster.LeastOutstanding})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	exact := mk(sched.StatsExact)
+	stream := mk(sched.StatsStreaming)
+
+	for i, s := range stream.PerShard {
+		if s.Sojourns != nil {
+			t.Fatalf("streaming shard %d retained %d raw sojourn samples", i, len(s.Sojourns))
+		}
+		if s.Digest == nil {
+			t.Fatalf("streaming shard %d has no digest", i)
+		}
+	}
+	e, s := exact.Merged, stream.Merged
+	if s.Completed != e.Completed || s.Failed != e.Failed || s.Rejected != e.Rejected ||
+		s.Reconfigs != e.Reconfigs || s.DeadlineMisses != e.DeadlineMisses ||
+		s.Makespan != e.Makespan || s.ThroughputPerMS != e.ThroughputPerMS ||
+		s.MeanWait != e.MeanWait || s.MeanService != e.MeanService {
+		t.Fatalf("streaming merge diverged beyond quantiles:\nstream %+v\nexact  %+v", s, e)
+	}
+	for _, q := range []struct {
+		name      string
+		got, want sim.Time
+	}{{"p50", s.P50, e.P50}, {"p99", s.P99, e.P99}} {
+		if q.got < q.want || q.got > q.want+sim.Time(float64(q.want)*sched.DigestRelError)+1 {
+			t.Errorf("%s: streaming %v vs exact %v outside the %.2f%% bound",
+				q.name, q.got, q.want, 100*sched.DigestRelError)
+		}
+	}
+	if fmt.Sprintf("%+v", s.Fabrics) != fmt.Sprintf("%+v", e.Fabrics) {
+		t.Fatalf("fabric stats diverged:\n%+v\n%+v", s.Fabrics, e.Fabrics)
+	}
+	// Determinism holds in streaming mode too: repeat and DeepEqual
+	// (which follows the digest pointers into their bucket tables).
+	if again := mk(sched.StatsStreaming); !reflect.DeepEqual(again, stream) {
+		t.Fatal("repeated streaming cluster runs diverged")
+	}
+}
+
+// TestStreamingStatsMemoryFlat: doubling the offered jobs must grow
+// exact mode's per-shard sample memory linearly while the streaming
+// digest's footprint stays flat (and within its documented bound) — the
+// property that lets serve-scale runs go to millions of jobs.
+func TestStreamingStatsMemoryFlat(t *testing.T) {
+	run := func(jobs int, mode sched.StatsMode) (sampleBytes, digestBytes int) {
+		r, err := ServeCluster(ClusterConfig{
+			ServeConfig: ServeConfig{Policy: sched.FIFO, Jobs: jobs, Seed: 1, MeanGapUS: 30, QueueCap: 4096, Stats: mode},
+			Shards:      2,
+			FrontEnd:    cluster.RoundRobin,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range r.PerShard {
+			sampleBytes += 8 * len(s.Sojourns)
+			if s.Digest != nil {
+				digestBytes += s.Digest.MemoryBytes()
+			}
+		}
+		return
+	}
+	exact1, _ := run(20_000, sched.StatsExact)
+	exact2, _ := run(40_000, sched.StatsExact)
+	_, stream1 := run(20_000, sched.StatsStreaming)
+	_, stream2 := run(40_000, sched.StatsStreaming)
+
+	if exact2 < exact1*2-16 {
+		t.Fatalf("exact sample memory not linear: %d B at 20k, %d B at 40k", exact1, exact2)
+	}
+	// The digest's lazy table may reach a few buckets further when a
+	// longer run sees a larger max sojourn, but it must stay within its
+	// hard bound and essentially flat while exact memory doubles.
+	if grew := stream2 - stream1; grew > 1024 {
+		t.Fatalf("streaming digest memory grew %d B with job count (%d -> %d B)", grew, stream1, stream2)
+	}
+	if bound := 2 * 8 * sched.DigestMaxBuckets; stream2 > bound {
+		t.Fatalf("digest memory %d B exceeds the documented bound %d B", stream2, bound)
+	}
+	t.Logf("per-shard stats memory: exact %d->%d B, streaming %d->%d B", exact1, exact2, stream1, stream2)
+}

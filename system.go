@@ -63,6 +63,12 @@ type Config struct {
 	// FPGAFreqMHz sets the initial eFPGA clock (later adjustable through
 	// the FPGA manager or bitstream Fmax). Defaults to 100 MHz.
 	FPGAFreqMHz float64
+
+	// SyncStages sets the CDC synchronizer depth of every adapter FIFO
+	// (the §IV metastability-hardening ablation knob). 0 selects the
+	// paper's 2-stage design point. Carried per system, so concurrent
+	// sweeps over the depth never race on shared state.
+	SyncStages int
 }
 
 // System is one built Dolly instance.
@@ -177,6 +183,7 @@ func New(cfg Config) *System {
 			RegSpecs:    cfg.RegSpecs,
 			FPSoC:       cfg.Style == StyleFPSoC,
 			IRQ:         s.Cores[0],
+			SyncStages:  cfg.SyncStages,
 		})
 		s.Adapters = append(s.Adapters, ad)
 		s.Fabrics = append(s.Fabrics, fab)
