@@ -266,23 +266,40 @@ func BenchmarkAblationSweep(b *testing.B) {
 	b.ReportMetric(float64(len(res.HubWindow)+len(res.SyncDepth)), "points")
 }
 
-// BenchmarkServeStream1M is the streaming-stats acceptance run: one
-// million offered jobs through a 4-shard cluster with fixed-memory
-// digests. Per-shard stats memory (the digest table) must stay in the
-// tens of kilobytes however far the job count grows; the exact-mode
-// equivalent would retain 8 MB of raw samples per million jobs on top
-// of the job ledgers.
-func BenchmarkServeStream1M(b *testing.B) {
+// serveStream1MConfig is the shared 1M-job cluster study behind
+// BenchmarkServeStream1M (cycle backend) and BenchmarkServeModel1M
+// (analytic model backend): identical arrival stream, shards, front end
+// and streaming digests, differing only in the execution backend —
+// PERF.md's model-vs-cycle speedup comparison.
+func serveStream1MConfig(be workload.BackendMode) workload.ClusterConfig {
+	return workload.ClusterConfig{
+		ServeConfig: workload.ServeConfig{
+			Policy: sched.FIFO, Jobs: 1_000_000, Seed: 1, MeanGapUS: 30,
+			QueueCap: 4096, Stats: sched.StatsStreaming, Backend: be,
+		},
+		Shards:   4,
+		FrontEnd: cluster.RoundRobin,
+	}
+}
+
+// benchServe1M runs the 1M-job cluster study at the given backend. The
+// arrival stream (identical on both backends, ~100 ms to draw) is
+// generated outside the timed region so the metric isolates what the
+// backends actually differ in: replica construction and simulation.
+func benchServe1M(b *testing.B, be workload.BackendMode) {
+	cfg := serveStream1MConfig(be)
+	b.ResetTimer()
 	var digestBytes, p99 float64
 	for i := 0; i < b.N; i++ {
-		r, err := workload.ServeCluster(workload.ClusterConfig{
-			ServeConfig: workload.ServeConfig{
-				Policy: sched.FIFO, Jobs: 1_000_000, Seed: 1, MeanGapUS: 30,
-				QueueCap: 4096, Stats: sched.StatsStreaming,
-			},
-			Shards:   4,
-			FrontEnd: cluster.RoundRobin,
-		})
+		// The stream is consumed by the run (replicas write outcomes into
+		// it), so each iteration draws a fresh copy off the clock; the GC
+		// debt of the ~100 MB draw is flushed off the clock too, so the
+		// timed region carries only the backend's own allocation behaviour.
+		b.StopTimer()
+		stream := workload.Arrivals(cfg.ServeConfig)
+		runtime.GC()
+		b.StartTimer()
+		r, err := workload.ServeClusterOver(cfg, stream)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -300,6 +317,21 @@ func BenchmarkServeStream1M(b *testing.B) {
 	b.ReportMetric(digestBytes, "max-shard-digest-B")
 	b.ReportMetric(p99, "p99-ps")
 }
+
+// BenchmarkServeStream1M is the streaming-stats acceptance run: one
+// million offered jobs through a 4-shard cycle-backend cluster with
+// fixed-memory digests. Per-shard stats memory (the digest table) must
+// stay in the tens of kilobytes however far the job count grows; the
+// exact-mode equivalent would retain 8 MB of raw samples per million
+// jobs on top of the job ledgers.
+func BenchmarkServeStream1M(b *testing.B) { benchServe1M(b, workload.BackendCycle) }
+
+// BenchmarkServeModel1M is the same 1M-job cluster study on the
+// calibrated analytic model backend — statistically identical output
+// (see the xval gate) at a fraction of the cost, the fast path for
+// capacity-planning sweeps. PERF.md records the measured speedup over
+// BenchmarkServeStream1M.
+func BenchmarkServeModel1M(b *testing.B) { benchServe1M(b, workload.BackendModel) }
 
 // BenchmarkAblation_BFSLockDiscipline compares the BFS baseline's naive
 // test-and-set lock against an MCS queue lock: the Duet speedup shrinks

@@ -10,16 +10,20 @@
 //	duetsim fig12           # application speedups and ADP
 //	duetsim ablate          # hub-window / CDC-depth / speculation ablations
 //	duetsim serve           # multi-tenant accelerator-as-a-service study
-//	duetsim cluster         # sharded serve farm across N Duet replicas
+//	duetsim cluster         # sharded serve farm across N serve replicas
+//	duetsim xval            # model-vs-cycle backend cross-validation gate
 //	duetsim study           # fig9+fig10+fig11+ablations in one sweep
 //	duetsim all             # the paper's tables and figures above
 //
-// Every sweep (fig9, fig10, fig11, ablate, study, serve, cluster) runs
-// its grid of independent simulation points on the internal/study worker
-// pool; -parallel bounds the pool (default GOMAXPROCS) and the output is
-// byte-identical at every width. -json switches the sweep commands to
-// machine-readable output with a stable field order; -stats stream runs
-// serve/cluster with fixed-memory streaming latency stats.
+// Every sweep (fig9, fig10, fig11, ablate, study, serve, cluster, xval)
+// runs its grid of independent simulation points on the internal/study
+// worker pool; -parallel bounds the pool (default GOMAXPROCS) and the
+// output is byte-identical at every width. -json switches the sweep
+// commands to machine-readable output with a stable field order; -stats
+// stream runs serve/cluster with fixed-memory streaming latency stats;
+// -backend selects the serve/cluster execution backend (cycle-level
+// Dolly instances, the calibrated analytic model, or hybrid cycle + CPU
+// soft-path spill).
 //
 // Absolute numbers come from this repository's cycle-level models; the
 // paper's own numbers are printed alongside where published. See
@@ -54,6 +58,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "study-pool width for sweep commands; 0 = GOMAXPROCS, output identical at every width")
 	jsonOut := flag.Bool("json", false, "machine-readable output (stable field order) for sweep commands")
 	statsMode := flag.String("stats", "exact", "serve/cluster latency stats: exact (per-job ledgers) or stream (fixed-memory digest)")
+	backend := flag.String("backend", "cycle", "serve/cluster execution backend: cycle (Dolly instance), model (analytic fast path), hybrid (cycle + CPU soft-path spill)")
+	softCPUs := flag.Int("softcpus", 0, "serve/cluster: CPU soft-path workers per replica (hybrid backend defaults to 1)")
+	tolerance := flag.Float64("tolerance", workload.XValTolerance, "xval: maximum model-vs-cycle p50/p99 relative error before failing")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the executed commands to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the commands to `file`")
 	flag.Parse()
@@ -83,6 +90,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "duetsim: %v\n", err)
 		os.Exit(2)
 	}
+	beMode, err := workload.BackendModeByName(*backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "duetsim: %v\n", err)
+		os.Exit(2)
+	}
 	// -json promises one parseable document on stdout, so it pairs with
 	// exactly one sweep command; the text-only commands and multi-command
 	// runs would interleave tables or concatenate documents.
@@ -92,9 +104,9 @@ func main() {
 			os.Exit(2)
 		}
 		switch cmds[0] {
-		case "fig9", "fig10", "fig11", "ablate", "ablations", "study", "serve", "cluster":
+		case "fig9", "fig10", "fig11", "ablate", "ablations", "study", "serve", "cluster", "xval":
 		default:
-			fmt.Fprintf(os.Stderr, "duetsim: -json is not supported with %q; use a sweep command (fig9|fig10|fig11|ablate|study|serve|cluster)\n", cmds[0])
+			fmt.Fprintf(os.Stderr, "duetsim: -json is not supported with %q; use a sweep command (fig9|fig10|fig11|ablate|study|serve|cluster|xval)\n", cmds[0])
 			os.Exit(2)
 		}
 	}
@@ -128,10 +140,15 @@ loop:
 		case "study":
 			studyCmd(*parallel, *quick, *jsonOut)
 		case "serve":
-			serve(*parallel, *seed, *jobs, *efpgas, mode, *jsonOut)
+			serve(*parallel, *seed, *jobs, *efpgas, mode, beMode, *softCPUs, *jsonOut)
 		case "cluster":
-			if err := clusterCmd(*parallel, *seed, *jobs, *efpgas, *shards, mode, *jsonOut); err != nil {
+			if err := clusterCmd(*parallel, *seed, *jobs, *efpgas, *shards, mode, beMode, *softCPUs, *jsonOut); err != nil {
 				fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+				code = 1
+				break loop
+			}
+		case "xval":
+			if !xval(*parallel, *seed, *jobs, *efpgas, mode, *tolerance, *jsonOut) {
 				code = 1
 				break loop
 			}
@@ -200,7 +217,7 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|all}...")
+	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|all}...")
 }
 
 func header(title string) {
@@ -402,10 +419,24 @@ func fig12(quick bool) {
 	fmt.Println("Paper geomeans: Duet 4.53x, FPSoC 2.14x; ADP Duet 0.61, FPSoC 1.23.")
 }
 
-func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, jsonOut bool) {
+// servePolicies is the study's policy axis: the three classic policies,
+// plus the hybrid spill policy when the replica has CPU soft-path
+// workers for it to spill to.
+func servePolicies(beMode workload.BackendMode) []sched.Policy {
+	ps := []sched.Policy{sched.FIFO, sched.SJF, sched.Affinity}
+	if beMode == workload.BackendHybrid {
+		ps = append(ps, sched.Hybrid)
+	}
+	return ps
+}
+
+func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs int, jsonOut bool) {
 	var cfgs []workload.ServeConfig
-	for p := sched.Policy(0); p < sched.NumPolicies; p++ {
-		cfgs = append(cfgs, workload.ServeConfig{Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode})
+	for _, p := range servePolicies(beMode) {
+		cfgs = append(cfgs, workload.ServeConfig{
+			Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode,
+			Backend: beMode, SoftCPUs: softCPUs,
+		})
 	}
 	results := workload.ServeStudy(parallel, cfgs)
 	if jsonOut {
@@ -414,8 +445,8 @@ func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, jso
 		}{results})
 		return
 	}
-	header(fmt.Sprintf("Serve: multi-tenant accelerator-as-a-service (%d jobs, %d eFPGAs, seed %d, %s stats)",
-		jobs, efpgas, seed, mode))
+	header(fmt.Sprintf("Serve: multi-tenant accelerator-as-a-service (%d jobs, %d eFPGAs, seed %d, %s stats, %s backend)",
+		jobs, efpgas, seed, mode, beMode))
 	fmt.Printf("App mix:")
 	for _, a := range workload.ServeApps {
 		fmt.Printf(" %s", a.Name)
@@ -443,12 +474,13 @@ func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, jso
 // merged stats plus per-shard job counts, without the per-shard raw
 // sample arrays.
 type clusterRow struct {
-	FrontEnd  cluster.FrontEnd `json:"front_end"`
-	Policy    sched.Policy     `json:"policy"`
-	Shards    int              `json:"shards"`
-	Offered   int              `json:"offered"`
-	Merged    sched.Stats      `json:"merged"`
-	ShardJobs []int            `json:"shard_jobs"`
+	FrontEnd  cluster.FrontEnd     `json:"front_end"`
+	Policy    sched.Policy         `json:"policy"`
+	Backend   workload.BackendMode `json:"backend"`
+	Shards    int                  `json:"shards"`
+	Offered   int                  `json:"offered"`
+	Merged    sched.Stats          `json:"merged"`
+	ShardJobs []int                `json:"shard_jobs"`
 }
 
 // scalingRow is one step of the cluster throughput-scaling sweep.
@@ -461,7 +493,7 @@ type scalingRow struct {
 
 func toClusterRow(r workload.ClusterResult) clusterRow {
 	row := clusterRow{
-		FrontEnd: r.FrontEnd, Policy: r.Policy, Shards: r.Shards,
+		FrontEnd: r.FrontEnd, Policy: r.Policy, Backend: r.Backend, Shards: r.Shards,
 		Offered: r.Offered, Merged: r.Merged,
 	}
 	for _, s := range r.PerShard {
@@ -470,7 +502,7 @@ func toClusterRow(r workload.ClusterResult) clusterRow {
 	return row
 }
 
-func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.StatsMode, jsonOut bool) error {
+func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs int, jsonOut bool) error {
 	if shards <= 0 {
 		shards = 1
 	}
@@ -479,11 +511,14 @@ func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.S
 	// goroutines inside its slot).
 	var cfgs []workload.ClusterConfig
 	for fe := cluster.FrontEnd(0); fe < cluster.NumFrontEnds; fe++ {
-		for p := sched.Policy(0); p < sched.NumPolicies; p++ {
+		for _, p := range servePolicies(beMode) {
 			cfgs = append(cfgs, workload.ClusterConfig{
-				ServeConfig: workload.ServeConfig{Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode},
-				Shards:      shards,
-				FrontEnd:    fe,
+				ServeConfig: workload.ServeConfig{
+					Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode,
+					Backend: beMode, SoftCPUs: softCPUs,
+				},
+				Shards:   shards,
+				FrontEnd: fe,
 			})
 		}
 	}
@@ -496,6 +531,7 @@ func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.S
 			ServeConfig: workload.ServeConfig{
 				Policy: sched.Affinity, Seed: seed, Jobs: jobs, EFPGAs: efpgas,
 				MeanGapUS: 5, QueueCap: 1024, Stats: mode,
+				Backend: beMode, SoftCPUs: softCPUs,
 			},
 			Shards:   sh,
 			FrontEnd: cluster.LeastOutstanding,
@@ -530,8 +566,8 @@ func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.S
 		return nil
 	}
 
-	header(fmt.Sprintf("Cluster: sharded serve farm (%d jobs, %d shards x %d eFPGAs, seed %d, %s stats)",
-		jobs, shards, efpgas, seed, mode))
+	header(fmt.Sprintf("Cluster: sharded serve farm (%d jobs, %d shards x %d eFPGAs, seed %d, %s stats, %s backend)",
+		jobs, shards, efpgas, seed, mode, beMode))
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Front end\tPolicy\tCompleted\tRejected\tThroughput\tp50\tp99\tMean wait\tReconfigs\tMissed DL\tShard jobs")
 	for _, r := range table {
@@ -559,6 +595,60 @@ func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.S
 	fmt.Println("Per (seed, shards, front end, policy) the table is byte-identical across runs;")
 	fmt.Println("a 1-shard cluster reproduces `duetsim serve` exactly.")
 	return nil
+}
+
+// xval runs the backend cross-validation study: the serve grid on the
+// cycle-level backend and on the analytic model backend, compared field
+// by field. Returns false (after printing the offending rows) when any
+// p50/p99 relative error exceeds the tolerance or the accounting
+// counters diverge — the CI gate for the model backend's calibration.
+func xval(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, tolerance float64, jsonOut bool) bool {
+	var cfgs []workload.ServeConfig
+	for _, p := range []sched.Policy{sched.FIFO, sched.SJF, sched.Affinity} {
+		cfgs = append(cfgs, workload.ServeConfig{
+			Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode,
+		})
+	}
+	// The hybrid row gets a soft-path worker on both sides (hybrid Dolly
+	// vs analytic replica), so the gate covers the CPU spill path too.
+	cfgs = append(cfgs, workload.ServeConfig{
+		Policy: sched.Hybrid, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode, SoftCPUs: 1,
+	})
+	rows := workload.CrossValidate(parallel, cfgs)
+	ok := true
+	for _, r := range rows {
+		if !r.CountersMatch || r.P50RelErr > tolerance || r.P99RelErr > tolerance {
+			ok = false
+		}
+	}
+	if jsonOut {
+		emitJSON(struct {
+			XVal      []workload.XValRow `json:"xval"`
+			Tolerance float64            `json:"tolerance"`
+			Pass      bool               `json:"pass"`
+		}{rows, tolerance, ok})
+		return ok
+	}
+	header(fmt.Sprintf("XVal: model-vs-cycle backend cross-validation (%d jobs, %d eFPGAs, seed %d, %s stats, tolerance %.2f%%)",
+		jobs, efpgas, seed, mode, 100*tolerance))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Policy\tCycle p50\tModel p50\tp50 err\tCycle p99\tModel p99\tp99 err\tCounters")
+	for _, r := range rows {
+		counters := "exact"
+		if !r.CountersMatch {
+			counters = "DIVERGED"
+		}
+		fmt.Fprintf(w, "%s\t%v\t%v\t%.4f%%\t%v\t%v\t%.4f%%\t%s\n",
+			r.Policy, r.Cycle.P50, r.Model.P50, 100*r.P50RelErr,
+			r.Cycle.P99, r.Model.P99, 100*r.P99RelErr, counters)
+	}
+	w.Flush()
+	if ok {
+		fmt.Println("PASS: the analytic model backend reproduces the cycle-level backend within tolerance.")
+	} else {
+		fmt.Printf("FAIL: model-vs-cycle divergence exceeds the %.2f%% tolerance.\n", 100*tolerance)
+	}
+	return ok
 }
 
 // pdesRow is the machine-readable speculative-PDES ablation. Unlike the

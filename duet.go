@@ -8,7 +8,7 @@
 // A Dolly instance is described by a Config and built with New:
 //
 //	sys := duet.New(duet.Config{Cores: 1, MemHubs: 1, Style: duet.StyleDuet})
-//	sys.Fabric.Register(bitstream)
+//	sys.Fabric.MustRegister(bitstream)
 //	sys.Cores[0].Run("host", func(p cpu.Proc) { ... })
 //	sys.Run()
 //

@@ -55,7 +55,7 @@ func main() {
 		Name: "mac", Multipliers: 1, Adders: 1, LUTLogic: 120,
 		RegBits: 256, PipelineDepth: 4,
 	}, func() efpga.Accelerator { return &multiplyAccumulate{cAddr: cAddr} })
-	id := sys.Fabric.Register(bs)
+	id := sys.Fabric.MustRegister(bs)
 	fmt.Printf("synthesized %q: Fmax=%.0fMHz, %d LUTs, %.3fmm2\n",
 		bs.Name, bs.FmaxMHz, bs.Res.LUTs, bs.Report.AreaMM2)
 

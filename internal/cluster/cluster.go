@@ -1,21 +1,24 @@
 // Package cluster shards the accelerator-as-a-service runtime across many
-// independent Duet replicas — the scale axis past a single System. Each
-// shard is a complete simulated instance (its own sim.Engine, adapters,
-// fabrics, and sched.Scheduler); shards run concurrently on real
-// goroutines, one replica per goroutine, joined errgroup-style (all
-// goroutines complete, first error wins).
+// independent serve replicas — the scale axis past a single System. Each
+// shard is an isolated simulated instance behind the Replica interface:
+// a complete cycle-level Dolly system (EngineReplica: its own sim.Engine,
+// adapters, fabrics, and sched.Scheduler), or internal/model's analytic
+// fast-path replica, and the two kinds can be mixed in one heterogeneous
+// cluster. Engine-backed shards run concurrently on real goroutines, one
+// replica per goroutine, joined errgroup-style (all goroutines complete,
+// first error wins).
 //
 // Determinism contract: a cluster run is byte-identical per
-// (seed, shards, front end) regardless of goroutine interleaving.
-// Three properties deliver it:
+// (seed, shards, front end, per-shard configs) regardless of goroutine
+// interleaving. Three properties deliver it:
 //
 //  1. The arrival stream is generated up front as a pure function of the
-//     seed, and the front end splits it across shards in a sequential
+//     seed, and the front end assigns it across shards in a sequential
 //     pre-pass (see frontend.go) — routing never observes live shard
-//     state, only the catalog's analytic model.
-//  2. Each shard's simulation is a deterministic discrete-event run over
-//     an engine nothing else touches; per-shard seeds are derived from
-//     the cluster seed (ShardSeed) for any replica-local draws.
+//     state, only each shard's catalog model (Predict/Workers).
+//  2. Each shard's simulation is a deterministic run over state nothing
+//     else touches; per-shard seeds are derived from the cluster seed
+//     (ShardSeed) for any replica-local draws.
 //  3. Per-shard results are merged in shard-index order with exact
 //     latency-quantile merging: the raw per-job sojourn samples are
 //     pooled and ranked over the whole population, never approximated
@@ -30,18 +33,100 @@ import (
 	"duet/internal/sim"
 )
 
-// Replica is one shard: a fully independent simulated Duet instance with
-// its scheduler. Run drains the replica's event queue and returns any
-// model-level validation error (e.g. a failed coherence check).
-type Replica struct {
+// Replica is one shard: an isolated simulated serve instance. The front
+// end routes by the replica's catalog model (Predict, Workers); Play
+// runs the shard to completion over its share of the arrival stream.
+// Implementations: EngineReplica (cycle-level Dolly system) and
+// internal/model's analytic fast-path replica.
+type Replica interface {
+	// Predict is the shard catalog's analytic occupancy estimate for one
+	// job — what deterministic front ends route by. ok is false for
+	// unregistered apps.
+	Predict(app string, inputSize int) (est sim.Time, ok bool)
+	// Workers reports the shard's worker count (the front end's view of
+	// its service parallelism).
+	Workers() int
+	// Play runs the shard over its share of the stream — the entries at
+	// indices mine (ascending), or the whole stream when mine is nil —
+	// and returns the harvested results. The stream is shared across
+	// shards: a replica may mutate only its own assigned entries.
+	Play(stream []Arrival, mine []int32) (ShardResult, error)
+}
+
+// EngineReplica is a cycle-level shard: a fully independent simulated
+// Duet instance (its own sim.Engine and scheduler). Run drains the
+// replica's event queue and returns any model-level validation error
+// (e.g. a failed coherence check).
+type EngineReplica struct {
 	Eng *sim.Engine
 	Sch *sched.Scheduler
 	Run func() error
+
+	// DiscardSamples skips the exact-mode per-job harvest (Sojourns and
+	// the wait/service sums) — for single-replica callers that read
+	// Stats only and never merge. Cluster shards must leave it false:
+	// Merge pools the raw samples for exact quantiles.
+	DiscardSamples bool
+}
+
+// Predict exposes the shard's catalog model for front-end routing.
+func (r *EngineReplica) Predict(app string, inputSize int) (sim.Time, bool) {
+	return r.Sch.Predict(app, inputSize)
+}
+
+// Workers reports the shard's worker count.
+func (r *EngineReplica) Workers() int { return r.Sch.Workers() }
+
+// Play schedules the shard's assigned arrivals as engine events, drains
+// the engine, and harvests the results. In exact mode per-job results
+// are harvested through the scheduler's OnResult drain hook; a
+// streaming-stats scheduler already folds every job into its own
+// fixed-memory digest and exact sums, so the shard reads those
+// aggregates back after the run instead of accumulating a parallel copy
+// per job — shard stats memory stays flat however many jobs the stream
+// offers.
+func (r *EngineReplica) Play(stream []Arrival, mine []int32) (ShardResult, error) {
+	var sr ShardResult
+	if !r.DiscardSamples && r.Sch.Config().Stats != sched.StatsStreaming {
+		r.Sch.OnResult = func(j *sched.Job) {
+			if j.Err != nil {
+				return
+			}
+			sr.Sojourns = append(sr.Sojourns, j.Sojourn())
+			sr.WaitSum += j.Wait()
+			sr.ServiceSum += j.Service()
+		}
+	}
+	submit := func(a any) { r.Sch.Submit(a.(*sched.Job)) }
+	schedule := func(a *Arrival) {
+		job := a.Job
+		r.Eng.AtArg(a.At, submit, &job)
+	}
+	if mine == nil {
+		for i := range stream {
+			schedule(&stream[i])
+		}
+	} else {
+		for _, i := range mine {
+			schedule(&stream[i])
+		}
+	}
+	err := r.Run()
+	sr.Stats = r.Sch.Stats()
+	if d, waits, services, ok := r.Sch.SojournDigest(); ok {
+		// The digest is the scheduler's own table, adopted by the shard
+		// result; the replica is discarded after this run, so nothing
+		// else writes to it.
+		sr.Digest = d
+		sr.WaitSum, sr.ServiceSum = waits, services
+	}
+	return sr, err
 }
 
 // Arrival is one job offered to the cluster front end at absolute
-// simulated time At. The Job is held by value: the front end hands each
-// shard its own copy, so shards never share job state.
+// simulated time At. Jobs are held by value in the stream; the front
+// end assigns each arrival to exactly one shard, so shards never share
+// job state.
 type Arrival struct {
 	At  sim.Time
 	Job sched.Job
@@ -53,11 +138,13 @@ type Config struct {
 	FrontEnd FrontEnd // arrival-stream routing policy
 	Seed     int64    // cluster seed; per-shard seeds derive from it
 
-	// NewReplica builds shard i with its derived seed. Every shard must
-	// register the same application catalog (the front end routes by the
-	// catalog model of shard 0). Construction runs sequentially, in
-	// shard order, before any goroutine starts.
-	NewReplica func(shard int, seed int64) (*Replica, error)
+	// NewReplica builds shard i with its derived seed. Shards may be
+	// heterogeneous — different worker counts, fabric clocks or
+	// execution backends — but every shard must register the same
+	// application catalog (the front end routes by each shard's own
+	// catalog model). Construction runs sequentially, in shard order,
+	// before any goroutine starts.
+	NewReplica func(shard int, seed int64) (Replica, error)
 }
 
 // ShardSeed derives shard i's seed from the cluster seed with a
@@ -101,7 +188,7 @@ type Result struct {
 }
 
 // Run plays the arrival stream through a sharded serve farm: it builds
-// Shards replicas, splits the stream with the configured front end, runs
+// Shards replicas, assigns the stream with the configured front end, runs
 // every shard concurrently to completion, and merges the results.
 func Run(cfg Config, stream []Arrival) (Result, error) {
 	if cfg.Shards <= 0 {
@@ -113,7 +200,7 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 	if cfg.NewReplica == nil {
 		return Result{}, fmt.Errorf("cluster: Config.NewReplica is required")
 	}
-	reps := make([]*Replica, cfg.Shards)
+	reps := make([]Replica, cfg.Shards)
 	seeds := make([]int64, cfg.Shards)
 	for i := range reps {
 		seeds[i] = ShardSeed(cfg.Seed, i)
@@ -121,17 +208,36 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
-		if r == nil || r.Eng == nil || r.Sch == nil || r.Run == nil {
+		if r == nil {
+			return Result{}, fmt.Errorf("cluster: shard %d: nil replica", i)
+		}
+		if er, ok := r.(*EngineReplica); ok && (er.Eng == nil || er.Sch == nil || er.Run == nil) {
 			return Result{}, fmt.Errorf("cluster: shard %d: replica needs Eng, Sch and Run", i)
 		}
 		reps[i] = r
 	}
-	assigned := split(cfg.Shards, cfg.FrontEnd, reps[0].Sch, stream)
+	// The front end's sequential pre-pass: one shard index per arrival,
+	// regrouped into per-shard index lists. Shards then read their own
+	// entries out of the shared stream, so no per-shard copy of the
+	// (potentially huge) stream is ever built.
+	assign := route(cfg.Shards, cfg.FrontEnd, reps, stream)
+	counts := make([]int, cfg.Shards)
+	for _, s := range assign {
+		counts[s]++
+	}
+	indices := make([][]int32, cfg.Shards)
+	for i := range indices {
+		indices[i] = make([]int32, 0, counts[i])
+	}
+	for i, s := range assign {
+		indices[s] = append(indices[s], int32(i))
+	}
 
 	// One replica per goroutine; errgroup-style join (every shard runs to
 	// completion, the lowest-indexed error is reported). Each goroutine
-	// touches only its own shard's engine and result slot, so the merge
-	// after Wait observes a deterministic state.
+	// touches only its own shard's state, its own result slot, and its
+	// own assigned stream entries, so the merge after Wait observes a
+	// deterministic state.
 	results := make([]ShardResult, cfg.Shards)
 	errs := make([]error, cfg.Shards)
 	var wg sync.WaitGroup
@@ -139,7 +245,7 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = runShard(i, seeds[i], reps[i], assigned[i])
+			results[i], errs[i] = reps[i].Play(stream, indices[i])
 		}(i)
 	}
 	wg.Wait()
@@ -147,6 +253,11 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
+	}
+	for i := range results {
+		results[i].Shard = i
+		results[i].Seed = seeds[i]
+		results[i].Assigned = counts[i]
 	}
 	res := Result{
 		Shards:   cfg.Shards,
@@ -156,40 +267,4 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 	}
 	res.Merged = Merge(results)
 	return res, nil
-}
-
-// runShard plays one shard's sub-stream through its replica. In exact
-// mode per-job results are harvested through the scheduler's OnResult
-// drain hook; a streaming-stats scheduler already folds every job into
-// its own fixed-memory digest and exact sums, so the shard reads those
-// aggregates back after the run instead of accumulating a parallel copy
-// per job — shard stats memory stays flat however many jobs the stream
-// offers.
-func runShard(shard int, seed int64, r *Replica, arrivals []Arrival) (ShardResult, error) {
-	sr := ShardResult{Shard: shard, Seed: seed, Assigned: len(arrivals)}
-	if r.Sch.Config().Stats != sched.StatsStreaming {
-		r.Sch.OnResult = func(j *sched.Job) {
-			if j.Err != nil {
-				return
-			}
-			sr.Sojourns = append(sr.Sojourns, j.Sojourn())
-			sr.WaitSum += j.Wait()
-			sr.ServiceSum += j.Service()
-		}
-	}
-	submit := func(a any) { r.Sch.Submit(a.(*sched.Job)) }
-	for _, a := range arrivals {
-		job := a.Job
-		r.Eng.AtArg(a.At, submit, &job)
-	}
-	err := r.Run()
-	sr.Stats = r.Sch.Stats()
-	if d, waits, services, ok := r.Sch.SojournDigest(); ok {
-		// The digest is the scheduler's own table, adopted by the shard
-		// result; the replica is discarded after this run, so nothing
-		// else writes to it.
-		sr.Digest = d
-		sr.WaitSum, sr.ServiceSum = waits, services
-	}
-	return sr, err
 }

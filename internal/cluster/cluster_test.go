@@ -29,12 +29,13 @@ var testApps = []struct {
 	{"BFS", 64, 3},
 }
 
-// newReplica builds real Dolly replicas (2 eFPGAs each) with the test
-// catalog registered. failShard, when >= 0, injects a Run error on that
-// shard to exercise the errgroup-style join.
-func newReplica(policy sched.Policy, failShard int) func(int, int64) (*cluster.Replica, error) {
-	return func(shard int, seed int64) (*cluster.Replica, error) {
-		sys := duet.New(duet.Config{Cores: 1, MemHubs: 1, EFPGAs: 2, Style: duet.StyleDuet})
+// newReplica builds real Dolly replicas with the test catalog
+// registered. failShard, when >= 0, injects a Run error on that shard to
+// exercise the errgroup-style join; efpgas sets the per-shard fabric
+// count (heterogeneous when callers vary it by shard).
+func newReplicaN(policy sched.Policy, failShard, efpgas int) func(int, int64) (cluster.Replica, error) {
+	return func(shard int, seed int64) (cluster.Replica, error) {
+		sys := duet.New(duet.Config{Cores: 1, MemHubs: 1, EFPGAs: efpgas, Style: duet.StyleDuet})
 		sch := sys.Scheduler(sched.Config{Policy: policy})
 		for _, a := range testApps {
 			bs := accel.Synthesize(a.name, func() efpga.Accelerator { return stub{} })
@@ -42,7 +43,7 @@ func newReplica(policy sched.Policy, failShard int) func(int, int64) (*cluster.R
 				return nil, err
 			}
 		}
-		return &cluster.Replica{Eng: sys.Eng, Sch: sch, Run: func() error {
+		return &cluster.EngineReplica{Eng: sys.Eng, Sch: sch, Run: func() error {
 			sys.Run()
 			if shard == failShard {
 				return errors.New("injected replica failure")
@@ -50,6 +51,10 @@ func newReplica(policy sched.Policy, failShard int) func(int, int64) (*cluster.R
 			return nil
 		}}, nil
 	}
+}
+
+func newReplica(policy sched.Policy, failShard int) func(int, int64) (cluster.Replica, error) {
+	return newReplicaN(policy, failShard, 2)
 }
 
 // stream builds a deterministic synthetic arrival stream (no rng: the
@@ -148,6 +153,65 @@ func TestFrontEndRouting(t *testing.T) {
 	}
 }
 
+// TestLeastOutstandingTieBreak pins the front end's tie-break: on equal
+// outstanding counts the lowest shard index wins. Arrivals spaced far
+// apart always observe every shard at zero outstanding, so every job
+// must land on shard 0 — any other placement means the tie-break
+// drifted (e.g. to round-robin or last-seen).
+func TestLeastOutstandingTieBreak(t *testing.T) {
+	arr := make([]cluster.Arrival, 12)
+	for i := range arr {
+		// 1s gaps dwarf any service time: all shards idle at each arrival.
+		arr[i] = cluster.Arrival{At: sim.Time(i+1) * sim.Time(1e12), Job: sched.Job{
+			App: testApps[i%len(testApps)].name, InputSize: 64,
+		}}
+	}
+	r, err := cluster.Run(cluster.Config{
+		Shards: 3, FrontEnd: cluster.LeastOutstanding, Seed: 1,
+		NewReplica: newReplica(sched.FIFO, -1),
+	}, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerShard[0].Assigned != len(arr) {
+		t.Fatalf("tie-break drifted: shard 0 got %d of %d (want all on the lowest index)",
+			r.PerShard[0].Assigned, len(arr))
+	}
+	for _, s := range r.PerShard[1:] {
+		if s.Assigned != 0 {
+			t.Fatalf("tie-break drifted: shard %d got %d jobs", s.Shard, s.Assigned)
+		}
+	}
+}
+
+// TestHeterogeneousShardRouting: the least-outstanding front end must
+// plan with each shard's own catalog model. A 4-fabric shard behind a
+// 1-fabric shard absorbs most of a saturating stream, even from the
+// higher shard index (which loses ties but wins on capacity).
+func TestHeterogeneousShardRouting(t *testing.T) {
+	mk := newReplicaN(sched.FIFO, -1, 1)
+	big := newReplicaN(sched.FIFO, -1, 4)
+	r, err := cluster.Run(cluster.Config{
+		Shards: 2, FrontEnd: cluster.LeastOutstanding, Seed: 1,
+		NewReplica: func(shard int, seed int64) (cluster.Replica, error) {
+			if shard == 1 {
+				return big(shard, seed)
+			}
+			return mk(shard, seed)
+		},
+	}, stream(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, wide := r.PerShard[0].Assigned, r.PerShard[1].Assigned
+	if wide <= small {
+		t.Fatalf("4-fabric shard got %d jobs vs 1-fabric shard's %d: front end ignored per-shard capacity", wide, small)
+	}
+	if small == 0 {
+		t.Fatal("least-outstanding starved the small shard entirely")
+	}
+}
+
 // TestMergeExactQuantiles: merged percentiles must rank the pooled
 // per-job samples, not recombine per-shard percentiles.
 func TestMergeExactQuantiles(t *testing.T) {
@@ -218,7 +282,7 @@ func TestRunErrors(t *testing.T) {
 	}, stream(4)); err == nil {
 		t.Fatal("bogus front end not rejected")
 	}
-	factoryErr := func(shard int, seed int64) (*cluster.Replica, error) {
+	factoryErr := func(shard int, seed int64) (cluster.Replica, error) {
 		return nil, errors.New("no fabric")
 	}
 	if _, err := cluster.Run(cluster.Config{Shards: 2, NewReplica: factoryErr}, stream(4)); err == nil {

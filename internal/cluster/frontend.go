@@ -5,16 +5,18 @@ import (
 	"fmt"
 	"hash/fnv"
 
-	"duet/internal/sched"
 	"duet/internal/sim"
 )
 
 // FrontEnd selects how the cluster front end routes arriving jobs to
 // shards. Every policy is a deterministic, sequential pre-pass over the
-// arrival stream — routing decisions depend only on the stream, the shard
-// count, and the catalog's analytic service model, never on live shard
-// state, which is what keeps multi-shard runs byte-identical regardless
-// of goroutine interleaving.
+// arrival stream — routing decisions depend only on the stream, the
+// shard count, and each shard's catalog model (Predict/Workers), never
+// on live shard state, which is what keeps multi-shard runs
+// byte-identical regardless of goroutine interleaving. Routing by
+// per-shard models is also what makes heterogeneous clusters work: a
+// shard with more fabrics (or a different execution backend) advertises
+// its capacity through its own Workers and Predict.
 type FrontEnd int
 
 // Front-end policies.
@@ -27,7 +29,9 @@ const (
 	RoundRobin
 	// LeastOutstanding routes each job to the shard with the fewest
 	// jobs still outstanding under the front end's analytic model of
-	// shard occupancy (ties go to the lowest shard id).
+	// shard occupancy. On equal outstanding counts the lowest shard
+	// index wins — an explicit part of the determinism contract, pinned
+	// by a regression test.
 	LeastOutstanding
 	NumFrontEnds
 )
@@ -54,29 +58,28 @@ func FrontEndByName(name string) (FrontEnd, error) {
 	return 0, fmt.Errorf("cluster: unknown front end %q", name)
 }
 
-// split assigns the arrival stream to shards under the chosen policy.
-// model is the catalog of shard 0 (all shards register the same apps).
-func split(shards int, fe FrontEnd, model *sched.Scheduler, stream []Arrival) [][]Arrival {
-	out := make([][]Arrival, shards)
+// route assigns each arrival to a shard under the chosen policy; the
+// result maps stream index to shard index. reps supplies every shard's
+// catalog model, so heterogeneous shards are routed by their own
+// capacity, not shard 0's.
+func route(shards int, fe FrontEnd, reps []Replica, stream []Arrival) []int32 {
+	assign := make([]int32, len(stream))
 	switch fe {
 	case RoundRobin:
-		for i, a := range stream {
-			s := i % shards
-			out[s] = append(out[s], a)
+		for i := range stream {
+			assign[i] = int32(i % shards)
 		}
 	case LeastOutstanding:
-		lo := newLoadModel(shards, model)
-		for _, a := range stream {
-			s := lo.route(a)
-			out[s] = append(out[s], a)
+		lo := newLoadModel(reps)
+		for i := range stream {
+			assign[i] = int32(lo.route(&stream[i]))
 		}
 	default: // HashApp
-		for _, a := range stream {
-			s := int(hashApp(a.Job.App) % uint32(shards))
-			out[s] = append(out[s], a)
+		for i := range stream {
+			assign[i] = int32(hashApp(stream[i].Job.App) % uint32(shards))
 		}
 	}
-	return out
+	return assign
 }
 
 func hashApp(app string) uint32 {
@@ -86,12 +89,12 @@ func hashApp(app string) uint32 {
 }
 
 // loadModel is the least-outstanding front end's analytic view of shard
-// occupancy: each shard is modeled as Workers() virtual fabrics serving
-// jobs for their catalog-predicted occupancy, FIFO per fabric. It tracks,
-// per shard, when each virtual fabric frees up and the predicted finish
-// times of in-flight jobs.
+// occupancy: each shard is modeled as its own Workers() virtual fabrics
+// serving jobs for their catalog-predicted occupancy, FIFO per fabric.
+// It tracks, per shard, when each virtual fabric frees up and the
+// predicted finish times of in-flight jobs.
 type loadModel struct {
-	model  *sched.Scheduler
+	reps   []Replica
 	shards []loadShard
 }
 
@@ -100,18 +103,18 @@ type loadShard struct {
 	finishes []sim.Time // predicted finish of jobs assigned but not yet done
 }
 
-func newLoadModel(shards int, model *sched.Scheduler) *loadModel {
-	lm := &loadModel{model: model, shards: make([]loadShard, shards)}
+func newLoadModel(reps []Replica) *loadModel {
+	lm := &loadModel{reps: reps, shards: make([]loadShard, len(reps))}
 	for i := range lm.shards {
-		lm.shards[i].free = make([]sim.Time, model.Workers())
+		lm.shards[i].free = make([]sim.Time, reps[i].Workers())
 	}
 	return lm
 }
 
 // route picks the shard with the fewest outstanding jobs at a.At and
-// charges the job's predicted occupancy to that shard's earliest-free
-// virtual fabric.
-func (lm *loadModel) route(a Arrival) int {
+// charges the job's predicted occupancy (under that shard's own catalog
+// model) to the shard's earliest-free virtual fabric.
+func (lm *loadModel) route(a *Arrival) int {
 	best, bestOut := 0, -1
 	for i := range lm.shards {
 		sh := &lm.shards[i]
@@ -122,6 +125,9 @@ func (lm *loadModel) route(a Arrival) int {
 			}
 		}
 		sh.finishes = live
+		// Strict less-than: on equal outstanding counts the earlier
+		// (lowest-index) shard keeps the job — the explicit tie-break of
+		// the determinism contract.
 		if bestOut < 0 || len(sh.finishes) < bestOut {
 			best, bestOut = i, len(sh.finishes)
 		}
@@ -137,7 +143,7 @@ func (lm *loadModel) route(a Arrival) int {
 	if sh.free[fab] > start {
 		start = sh.free[fab]
 	}
-	svc, _ := lm.model.Predict(a.Job.App, a.Job.InputSize)
+	svc, _ := lm.reps[best].Predict(a.Job.App, a.Job.InputSize)
 	fin := start + svc
 	sh.free[fab] = fin
 	sh.finishes = append(sh.finishes, fin)

@@ -47,8 +47,8 @@ func TestRegProgramRejectedWhileProgramAsyncStreams(t *testing.T) {
 	sys := duet.New(duet.Config{Cores: 1, MemHubs: 1, Style: duet.StyleDuet})
 	big := slowBitstream("big", 1<<20)
 	small := quickBitstream("small")
-	bigID := sys.Fabric.Register(big)
-	smallID := sys.Fabric.Register(small)
+	bigID := sys.Fabric.MustRegister(big)
+	smallID := sys.Fabric.MustRegister(small)
 
 	var asyncErr error
 	asyncDone := false
@@ -80,8 +80,8 @@ func TestProgramAsyncRejectedWhileRegProgramStreams(t *testing.T) {
 	sys := duet.New(duet.Config{Cores: 1, MemHubs: 1, Style: duet.StyleDuet})
 	big := slowBitstream("big", 1<<20)
 	small := quickBitstream("small")
-	bigID := sys.Fabric.Register(big)
-	smallID := sys.Fabric.Register(small)
+	bigID := sys.Fabric.MustRegister(big)
+	smallID := sys.Fabric.MustRegister(small)
 
 	sys.Cores[0].Run("host", func(p cpu.Proc) {
 		p.MMIOWrite64(duet.MgrRegAddr(core.RegProgram), uint64(bigID))
@@ -112,7 +112,7 @@ func TestProgramAsyncRejectedWhileRegProgramStreams(t *testing.T) {
 func TestProgramAsyncRequiresQuiescedHubs(t *testing.T) {
 	sys := duet.New(duet.Config{Cores: 1, MemHubs: 2, Style: duet.StyleDuet})
 	bs := quickBitstream("guarded")
-	id := sys.Fabric.Register(bs)
+	id := sys.Fabric.MustRegister(bs)
 
 	sys.Adapter.ResumeHubs(1 << 1) // hub 1 enabled: preconditions violated
 	var err1 error
@@ -206,8 +206,8 @@ func TestResidentTracksReprogramming(t *testing.T) {
 	sys := duet.New(duet.Config{Cores: 1, MemHubs: 1, Style: duet.StyleDuet})
 	a := quickBitstream("appA")
 	b := quickBitstream("appB")
-	idA := sys.Fabric.Register(a)
-	idB := sys.Fabric.Register(b)
+	idA := sys.Fabric.MustRegister(a)
+	idB := sys.Fabric.MustRegister(b)
 
 	if got := sys.Adapter.Resident(); got != nil {
 		t.Fatalf("resident before configuration = %v, want nil", got)
@@ -241,8 +241,8 @@ func TestBoundedPollReportsWedged(t *testing.T) {
 	sys := duet.New(duet.Config{Cores: 1, MemHubs: 1, Style: duet.StyleDuet})
 	glacial := slowBitstream("glacial", 16<<20)
 	small := quickBitstream("small")
-	glacialID := sys.Fabric.Register(glacial)
-	smallID := sys.Fabric.Register(small)
+	glacialID := sys.Fabric.MustRegister(glacial)
+	smallID := sys.Fabric.MustRegister(small)
 
 	var st duet.ProgStatus
 	var wedgedStatus uint64

@@ -31,6 +31,42 @@ func TestConfigureSuccess(t *testing.T) {
 	}
 }
 
+// TestRegisterDuplicateGuard: re-registering the same bitstream returns
+// its existing id (idempotent), while a different bitstream under an
+// already-taken name is rejected — by-name lookups must stay unambiguous.
+func TestRegisterDuplicateGuard(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, "f0", Resources{LUTs: 10000, FFs: 20000, BRAMKb: 4096, DSPs: 64})
+	bs := testBitstream("acc", 4)
+	id, err := f.Register(bs)
+	if err != nil {
+		t.Fatalf("first register: %v", err)
+	}
+	again, err := f.Register(bs)
+	if err != nil || again != id {
+		t.Fatalf("re-register returned (%d, %v), want (%d, nil)", again, err, id)
+	}
+	if got, ok := f.IDByName("acc"); !ok || got != id {
+		t.Fatalf("IDByName after double register = (%d, %v)", got, ok)
+	}
+	impostor := testBitstream("acc", 2)
+	if _, err := f.Register(impostor); err == nil {
+		t.Fatal("distinct bitstream under a duplicate name was accepted")
+	}
+	if other, err := f.Register(testBitstream("other", 4)); err != nil || other != id+1 {
+		t.Fatalf("fresh name after rejection: (%d, %v)", other, err)
+	}
+	if f.MustRegister(bs) != id {
+		t.Fatal("MustRegister not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister accepted a conflicting duplicate")
+		}
+	}()
+	f.MustRegister(testBitstream("acc", 3))
+}
+
 func TestConfigureRejectsCorruptBitstream(t *testing.T) {
 	eng := sim.NewEngine()
 	f := NewFabric(eng, "f0", Resources{LUTs: 10000, FFs: 20000, BRAMKb: 4096, DSPs: 64})

@@ -179,11 +179,40 @@ func (f *Fabric) SetFreqMHz(mhz float64) {
 	f.clk.Phase = f.eng.Now()
 }
 
+// DefaultFabricCap is the generous capacity used when a fabric is built
+// without an explicit resource budget: big enough for every Table II
+// design, so capacity checks bind only when a configuration asks for a
+// tighter budget.
+var DefaultFabricCap = Resources{LUTs: 1 << 20, FFs: 1 << 21, BRAMKb: 1 << 16, DSPs: 1 << 12}
+
 // Register adds a bitstream to the system image library and returns its
-// id (used by the programming engine's MMIO interface).
-func (f *Fabric) Register(b *Bitstream) int {
+// id (used by the programming engine's MMIO interface). Registration is
+// idempotent: re-registering the same bitstream returns its existing id.
+// Registering a *different* bitstream under an already-taken name is an
+// error — two images answering to one name would make every by-name
+// lookup (IDByName, the scheduler's catalog) ambiguous.
+func (f *Fabric) Register(b *Bitstream) (int, error) {
+	for i, ex := range f.bitstreams {
+		if ex.Name == b.Name {
+			if ex == b {
+				return i, nil
+			}
+			return 0, fmt.Errorf("efpga: bitstream name %q already registered with a different image", b.Name)
+		}
+	}
 	f.bitstreams = append(f.bitstreams, b)
-	return len(f.bitstreams) - 1
+	return len(f.bitstreams) - 1, nil
+}
+
+// MustRegister is Register for the common fresh-fabric flow where a
+// duplicate name is a programming error: it panics instead of returning
+// one.
+func (f *Fabric) MustRegister(b *Bitstream) int {
+	id, err := f.Register(b)
+	if err != nil {
+		panic(err)
+	}
+	return id
 }
 
 // IDByName returns the id of the registered bitstream named name.

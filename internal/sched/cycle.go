@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"fmt"
+
+	"duet/internal/core"
+	"duet/internal/efpga"
+	"duet/internal/params"
+	"duet/internal/sim"
+)
+
+// CycleBackend is the cycle-level execution backend: one eFPGA (fabric)
+// behind its Duet Adapter. Dispatch drives the driver's real
+// reconfiguration flow — quiesce the Memory Hubs, run the programming
+// engine (the same streaming + integrity model behind RegProgram),
+// re-enable the hubs, wait out the configuration settle — and then
+// occupies the fabric for the job's modeled service time on the fabric
+// clock. This is the original scheduler path, extracted behind the
+// Backend interface; its event sequence is unchanged.
+type CycleBackend struct {
+	eng *sim.Engine
+	ad  *core.Adapter
+	fab *efpga.Fabric
+
+	settle int64
+	done   func(*Job, error)
+	// finishFn is the one service-completion callback: Dispatch
+	// schedules it with the job as the event argument, so the resident
+	// fast path allocates no closure.
+	finishFn func(any)
+}
+
+// NewCycleBackend wraps an adapter/fabric pair as an execution backend.
+func NewCycleBackend(eng *sim.Engine, ad *core.Adapter, fab *efpga.Fabric) *CycleBackend {
+	b := &CycleBackend{eng: eng, ad: ad, fab: fab}
+	b.finishFn = func(a any) { b.done(a.(*Job), nil) }
+	return b
+}
+
+// CycleBackends wraps each adapter/fabric pair (one backend per pair).
+func CycleBackends(eng *sim.Engine, adapters []*core.Adapter, fabrics []*efpga.Fabric) []Backend {
+	if len(adapters) != len(fabrics) {
+		panic("sched: adapter/fabric count mismatch")
+	}
+	bes := make([]Backend, len(adapters))
+	for i := range adapters {
+		bes[i] = NewCycleBackend(eng, adapters[i], fabrics[i])
+	}
+	return bes
+}
+
+// Kind reports BackendCycle.
+func (b *CycleBackend) Kind() BackendKind { return BackendCycle }
+
+// Name is the fabric's name.
+func (b *CycleBackend) Name() string { return b.fab.Name }
+
+// Capacity is the fabric's reconfigurable resource budget.
+func (b *CycleBackend) Capacity() efpga.Resources { return b.fab.Cap }
+
+// Register adds the bitstream to the fabric's image library.
+func (b *CycleBackend) Register(bs *efpga.Bitstream) error {
+	_, err := b.fab.Register(bs)
+	return err
+}
+
+// Resident reports the fabric's installed bitstream name.
+func (b *CycleBackend) Resident() string {
+	if bs := b.ad.Resident(); bs != nil {
+		return bs.Name
+	}
+	return ""
+}
+
+// Bind attaches the scheduler's settle time and completion callback.
+func (b *CycleBackend) Bind(settleCycles int64, done func(*Job, error)) {
+	b.settle = settleCycles
+	b.done = done
+}
+
+// ServiceTime is the catalog's analytic occupancy: App cycles at the
+// bitstream's Fmax.
+func (b *CycleBackend) ServiceTime(app *App, inputSize int) sim.Time {
+	return sim.Time(app.Cycles(inputSize)) * app.Period()
+}
+
+// ReconfigCost is the analytic cost of making app resident now: two hub
+// feature-switch rounds, the programming engine's streaming time, and
+// the configuration settle — zero when app is already resident. The
+// formula mirrors Dispatch's event chain term for term (a unit test
+// pins the equivalence), which is also what makes internal/model's
+// analytic backend match this one exactly.
+func (b *CycleBackend) ReconfigCost(app *App) sim.Time {
+	if b.Resident() == app.BS.Name {
+		return 0
+	}
+	period := b.fab.Clock().Period
+	if app.BS.FmaxMHz > 0 {
+		period = app.Period()
+	}
+	return ReprogramCost(app, len(b.ad.Hubs()), b.ad.FastClock().Period, b.settle, period)
+}
+
+// ReprogramCost is the driver-flow timing model shared by every backend:
+// one hub feature-switch round trip per Memory Hub before and after
+// programming, the programming engine streaming one configuration word
+// per fast cycle, and settleCycles of the (post-Fmax-switch) fabric
+// clock. settlePeriod is the fabric clock period the settle is charged
+// at — the app's period when it sets an Fmax, the fabric's current
+// period otherwise.
+func ReprogramCost(app *App, hubs int, fastPeriod sim.Time, settleCycles int64, settlePeriod sim.Time) sim.Time {
+	toggles := int64(hubs)
+	if toggles == 0 {
+		toggles = 1
+	}
+	streamCycles := int64(len(app.BS.Image)+params.LineBytes-1) / params.LineBytes
+	return sim.Time(2*toggles*HubToggleCycles+streamCycles)*fastPeriod +
+		sim.Time(settleCycles)*settlePeriod
+}
+
+// Dispatch starts job j on the backend: directly when the needed
+// bitstream is resident, otherwise through the quiesce → program →
+// resume → settle flow.
+func (b *CycleBackend) Dispatch(j *Job, app *App) {
+	if b.Resident() == j.App {
+		b.serve(j, app)
+		return
+	}
+	if !app.BS.Res.Fits(b.fab.Cap) {
+		// pick never pairs a job with a too-small fabric; this guards a
+		// future policy bug from wedging the worker.
+		b.done(j, fmt.Errorf("sched: bitstream %q exceeds fabric %q capacity", j.App, b.fab.Name))
+		return
+	}
+	id, ok := b.fab.IDByName(j.App)
+	if !ok {
+		b.done(j, fmt.Errorf("sched: bitstream %q not registered on fabric %q", j.App, b.fab.Name))
+		return
+	}
+	j.Reprogrammed = true
+	fast := b.ad.FastClock()
+	toggles := int64(len(b.ad.Hubs()))
+	if toggles == 0 {
+		toggles = 1
+	}
+	// Quiesce: one feature-switch round trip per hub, then the
+	// programming engine (streaming + integrity check), then hub
+	// re-enable, then the configuration settle time.
+	saved := b.ad.QuiesceHubs()
+	b.eng.After(fast.Cycles(toggles*HubToggleCycles), func() {
+		b.ad.ProgramAsync(id, func(err error) {
+			if err != nil {
+				// Restore the pre-quiesce hub state before surfacing the
+				// failure, so the adapter is not left quiesced forever.
+				b.ad.ResumeHubs(saved)
+				b.done(j, err)
+				return
+			}
+			// The scheduler owns the adapter while serving: the incoming
+			// tenant is granted every Memory Hub.
+			b.ad.ResumeHubs(^uint64(0))
+			b.eng.After(fast.Cycles(toggles*HubToggleCycles), func() {
+				if app.BS.FmaxMHz > 0 {
+					b.fab.SetFreqMHz(app.BS.FmaxMHz)
+				}
+				b.eng.After(b.fab.Clock().Cycles(b.settle), func() {
+					b.serve(j, app)
+				})
+			})
+		})
+	})
+}
+
+// serve occupies the fabric for the job's modeled service time.
+func (b *CycleBackend) serve(j *Job, app *App) {
+	if app.BS.FmaxMHz > 0 && b.fab.Clock().FreqMHz() != app.BS.FmaxMHz {
+		b.fab.SetFreqMHz(app.BS.FmaxMHz)
+	}
+	b.eng.AfterArg(b.fab.Clock().Cycles(app.Cycles(j.InputSize)), b.finishFn, j)
+}

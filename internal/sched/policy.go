@@ -3,30 +3,40 @@ package sched
 import (
 	"encoding/json"
 	"fmt"
+
+	"duet/internal/sim"
 )
 
-// Policy selects how queued jobs are matched with idle eFPGAs.
+// Policy selects how queued jobs are matched with idle workers.
 type Policy int
 
 // Scheduling policies.
 const (
 	// FIFO dispatches strictly in arrival order onto the lowest-numbered
-	// idle fabric that fits the job, ignoring residency; the head of the
+	// idle worker that fits the job, ignoring residency; the head of the
 	// line is never overtaken.
 	FIFO Policy = iota
 	// SJF dispatches the queued job with the smallest predicted service
 	// time (ties broken by higher priority, then arrival order),
-	// preferring a fabric where its bitstream is already resident.
+	// preferring a worker where its bitstream is already resident.
 	SJF
 	// Affinity is reuse-aware: it first dispatches jobs whose bitstream
-	// is resident on an idle fabric (avoiding reprogramming entirely),
+	// is resident on an idle worker (avoiding reprogramming entirely),
 	// falling back to FIFO order when no resident match exists.
 	Affinity
+	// Hybrid is the spill policy for mixed fabric/CPU pools: fabric
+	// workers are placed reuse-aware (affinity first, then FIFO), and
+	// when no fabric is free a job spills to an idle CPU soft-path
+	// worker — but only if the modeled CPU completion beats waiting for
+	// the earliest fabric (jobs whose bitstream fits no fabric at all
+	// always take the soft path). Without CPU workers it degenerates to
+	// a work-conserving affinity placement.
+	Hybrid
 	NumPolicies
 )
 
 func (p Policy) String() string {
-	names := [...]string{"fifo", "sjf", "affinity"}
+	names := [...]string{"fifo", "sjf", "affinity", "hybrid"}
 	if p < 0 || int(p) >= len(names) {
 		return "unknown"
 	}
@@ -50,86 +60,166 @@ func PolicyByName(name string) (Policy, error) {
 // pick applies the configured policy: it returns the chosen idle worker
 // and the queue index of the job to place, or (nil, -1) when nothing is
 // placeable — the queue is empty, every worker is busy, or (with
-// heterogeneous fabric capacities) every fabric the candidate fits is
-// busy. Jobs are only ever paired with fabrics that can hold their
-// bitstream, so an admitted job waits for a fitting fabric instead of
-// being killed on a too-small one.
-func (s *Scheduler) pick() (*worker, int) {
+// heterogeneous capacities) every worker the candidate fits is busy.
+// Jobs are only ever paired with workers that can hold their bitstream,
+// so an admitted job waits for a fitting worker instead of being killed
+// on a too-small one.
+func (s *Scheduler) pick(now sim.Time) (*worker, int) {
 	if len(s.queue) == 0 {
 		return nil, -1
 	}
-	var idle []*worker
+	idle := s.idleScratch[:0]
 	for _, w := range s.workers {
 		if !w.busy {
 			idle = append(idle, w)
 		}
 	}
+	s.idleScratch = idle
 	if len(idle) == 0 {
 		return nil, -1
 	}
-	fitting := func(j *Job) []*worker {
-		app := s.apps[j.App]
-		var ws []*worker
+	// firstFit returns the lowest-numbered idle policy-usable worker
+	// that fits the job's bitstream; preferResident upgrades to a
+	// resident match. Both skip CPU soft-path workers whenever fabric
+	// workers exist — spill capacity belongs to the Hybrid policy alone.
+	firstFit := func(j *Job) *worker {
+		app := j.app
 		for _, w := range idle {
-			if app.BS.Res.Fits(w.fab.Cap) {
-				ws = append(ws, w)
+			if !s.usable(w) {
+				continue
+			}
+			if app.BS.Res.Fits(w.be.Capacity()) {
+				return w
 			}
 		}
-		return ws
+		return nil
+	}
+	preferResident := func(j *Job) *worker {
+		app := j.app
+		var first *worker
+		for _, w := range idle {
+			if !s.usable(w) || !app.BS.Res.Fits(w.be.Capacity()) {
+				continue
+			}
+			if w.be.Resident() == j.App {
+				return w
+			}
+			if first == nil {
+				first = w
+			}
+		}
+		return first
 	}
 	switch s.cfg.Policy {
 	case SJF:
 		best := -1
-		var bestWs []*worker
 		for i, j := range s.queue {
-			ws := fitting(j)
-			if len(ws) == 0 {
+			if firstFit(j) == nil {
 				continue
 			}
 			if best == -1 {
-				best, bestWs = i, ws
+				best = i
 				continue
 			}
 			di, db := s.predict(j), s.predict(s.queue[best])
 			if di < db || (di == db && j.Priority > s.queue[best].Priority) {
-				best, bestWs = i, ws
+				best = i
 			}
 		}
 		if best == -1 {
 			return nil, -1
 		}
-		return preferResident(bestWs, s.queue[best].App), best
+		return preferResident(s.queue[best]), best
 	case Affinity:
 		for i, j := range s.queue {
 			for _, w := range idle {
-				if w.resident() == j.App {
+				if w.be.Resident() == j.App {
 					return w, i
 				}
 			}
 		}
 		for i, j := range s.queue {
-			if ws := fitting(j); len(ws) > 0 {
-				return ws[0], i
+			if w := firstFit(j); w != nil {
+				return w, i
 			}
 		}
 		return nil, -1
+	case Hybrid:
+		return s.pickHybrid(idle, now)
 	default: // FIFO: strict arrival order — the head waits for a fitting
-		// fabric to free rather than being overtaken.
-		ws := fitting(s.queue[0])
-		if len(ws) == 0 {
+		// worker to free rather than being overtaken.
+		w := firstFit(s.queue[0])
+		if w == nil {
 			return nil, -1
 		}
-		return ws[0], 0
+		return w, 0
 	}
 }
 
-// preferResident picks the first idle worker whose fabric already holds
-// the named bitstream, defaulting to the lowest-numbered idle worker.
-func preferResident(idle []*worker, app string) *worker {
-	for _, w := range idle {
-		if w.resident() == app {
-			return w
+// pickHybrid is the Hybrid policy body: reuse-aware fabric placement
+// first, then a modeled spill decision onto idle CPU soft-path workers.
+func (s *Scheduler) pickHybrid(idle []*worker, now sim.Time) (*worker, int) {
+	// Pass 1: bitstream affinity over idle fabric-class workers.
+	for i, j := range s.queue {
+		for _, w := range idle {
+			if w.be.Kind() != BackendCPU && w.be.Resident() == j.App {
+				return w, i
+			}
 		}
 	}
-	return idle[0]
+	// Pass 2: FIFO order onto the lowest-numbered fitting idle fabric.
+	for i, j := range s.queue {
+		app := j.app
+		for _, w := range idle {
+			if w.be.Kind() != BackendCPU && app.BS.Res.Fits(w.be.Capacity()) {
+				return w, i
+			}
+		}
+	}
+	// Pass 3: spill. Every fabric that could run a queued job is busy
+	// (or too small), so walk the queue in order over a virtual copy of
+	// the fabrics' modeled free times, charging each job ahead onto its
+	// earliest fabric: a job spills to an idle CPU worker when the soft
+	// path's completion beats its modeled fabric completion — including
+	// the queue wait behind the jobs ahead of it — or when no fabric
+	// fits its bitstream at all.
+	var cpu *worker
+	for _, w := range idle {
+		if w.be.Kind() == BackendCPU {
+			cpu = w
+			break
+		}
+	}
+	if cpu == nil {
+		return nil, -1
+	}
+	free := s.estScratch[:0]
+	for _, w := range s.workers {
+		t := w.estFree
+		if !w.busy || t < now {
+			t = now
+		}
+		free = append(free, t)
+	}
+	s.estScratch = free
+	for i, j := range s.queue {
+		app := j.app
+		best := -1
+		for wi, w := range s.workers {
+			if w.be.Kind() == BackendCPU || !app.BS.Res.Fits(w.be.Capacity()) {
+				continue
+			}
+			if best == -1 || free[wi] < free[best] {
+				best = wi
+			}
+		}
+		cpuFinish := now + cpu.be.ServiceTime(app, j.InputSize)
+		if best == -1 || cpuFinish < free[best]+s.predict(j) {
+			return cpu, i
+		}
+		// Job i is modeled to wait for that fabric: charge it there so
+		// later queue entries see the contention ahead of them.
+		free[best] += s.predict(j)
+	}
+	return nil, -1
 }

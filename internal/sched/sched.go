@@ -1,23 +1,25 @@
 // Package sched is a multi-tenant accelerator-as-a-service runtime over
-// the system's eFPGA fabrics. It accepts a stream of jobs — each naming a
-// registered application bitstream, an input size, and a deadline and
-// priority — admits them through a bounded queue, and places them across
-// every configured eFPGA. Placement reuses an already-resident bitstream
-// when possible; otherwise it pays the modeled reprogramming cost: the
-// driver quiesces the adapter's Memory Hubs, runs the programming-engine
-// flow (the same streaming + integrity model behind RegProgram), and
-// re-enables the hubs once the accelerator has restarted.
+// a pool of execution backends. It accepts a stream of jobs — each
+// naming a registered application bitstream, an input size, and a
+// deadline and priority — admits them through a bounded queue, and
+// places them across every configured worker. A worker is any Backend
+// implementation: the cycle-level eFPGA path (core.Adapter +
+// efpga.Fabric, where placement reuses an already-resident bitstream
+// when possible and otherwise pays the real quiesce → program → resume
+// driver flow), the calibrated analytic fast model (internal/model), or
+// the CPU soft-path fallback that hybrid placement spills to when the
+// fabrics saturate.
 //
-// The scheduling policy — FIFO, shortest-job-first, or affinity
-// (reuse-aware) — is selected at construction; see policy.go. Per-job
-// wait/service times and per-fabric utilization and reconfiguration
-// counts are collected throughout; see stats.go.
+// The scheduling policy — FIFO, shortest-job-first, affinity
+// (reuse-aware), or hybrid (affinity + CPU spill) — is selected at
+// construction; see policy.go. Per-job wait/service times and
+// per-worker utilization and reconfiguration counts are collected
+// throughout; see stats.go.
 package sched
 
 import (
 	"fmt"
 
-	"duet/internal/core"
 	"duet/internal/efpga"
 	"duet/internal/sim"
 )
@@ -26,10 +28,11 @@ import (
 // programming engine's own streaming cost (which is charged by
 // Adapter.ProgramAsync):
 const (
-	// hubToggleCycles charges one MMIO round trip on the fast clock per
+	// HubToggleCycles charges one MMIO round trip on the fast clock per
 	// Memory Hub feature-switch write (quiesce before programming,
-	// re-enable after).
-	hubToggleCycles = 32
+	// re-enable after). Exported so analytic backends charge the same
+	// driver-flow model as the cycle-level path.
+	HubToggleCycles = 32
 	// defaultSettleCycles is the default Config.SettleCycles: fabric-clock
 	// cycles after configuration for partial-region reset, configuration
 	// scrubbing, and clock-generator relock before the accelerator can
@@ -51,10 +54,30 @@ type App struct {
 	period sim.Time // service clock period, derived from BS.FmaxMHz
 }
 
-// cycles is the modeled fabric occupancy of one job with input size n —
+// Cycles is the modeled fabric occupancy of one job with input size n —
 // the single source of truth for both SJF's estimate and the charged
 // service time.
-func (a *App) cycles(n int) int64 { return a.FixedCycles + a.CyclesPerItem*int64(n) }
+func (a *App) Cycles(n int) int64 { return a.FixedCycles + a.CyclesPerItem*int64(n) }
+
+// Period is the service clock period derived from the bitstream's Fmax
+// (valid after Finalize / RegisterApp).
+func (a *App) Period() sim.Time { return a.period }
+
+// Finalize applies the catalog defaults: a minimum per-item cost and the
+// service period derived from the bitstream's Fmax (100 MHz fallback).
+// RegisterApp calls it; analytic backends building their own catalogs
+// (internal/model) call it too, so every backend prices one App
+// identically.
+func (a *App) Finalize() {
+	if a.CyclesPerItem <= 0 {
+		a.CyclesPerItem = 1
+	}
+	if a.BS.FmaxMHz > 0 {
+		a.period = sim.Time(1e6/a.BS.FmaxMHz + 0.5)
+	} else {
+		a.period = sim.Time(1e4) // 100 MHz fallback
+	}
+}
 
 // Job is one unit of work submitted to the scheduler. The caller fills
 // the request fields; the scheduler fills the outcome fields.
@@ -69,15 +92,20 @@ type Job struct {
 	Submit       sim.Time
 	Start        sim.Time // dispatch instant (end of queue wait)
 	Finish       sim.Time
-	Fabric       int
+	Fabric       int // worker index the job occupied
 	Reprogrammed bool
 	Err          error
+
+	// app caches the catalog entry resolved at submission, so queue
+	// scans and dispatch never re-hash the name. Scoped to one
+	// scheduler: jobs are single-use.
+	app *App
 }
 
 // Wait is the time spent in the admission queue.
 func (j *Job) Wait() sim.Time { return j.Start - j.Submit }
 
-// Service is the time spent occupying a fabric (including any
+// Service is the time spent occupying a worker (including any
 // reprogramming the job triggered).
 func (j *Job) Service() sim.Time { return j.Finish - j.Start }
 
@@ -100,37 +128,41 @@ type Config struct {
 	Stats StatsMode
 }
 
-// worker tracks one eFPGA (fabric + adapter) and its accumulated stats.
+// worker tracks one execution backend and its accumulated stats.
 type worker struct {
 	id     int
-	ad     *core.Adapter
-	fab    *efpga.Fabric
+	be     Backend
 	busy   bool
 	busyAt sim.Time
+	// estFree is the analytic estimate of when the worker frees up,
+	// charged at dispatch from the backend's reconfig + service model —
+	// what the hybrid policy weighs CPU spill against.
+	estFree sim.Time
 
 	jobs      int
 	reconfigs int
 	busyTotal sim.Time
 }
 
-// resident reports the name of the fabric's installed bitstream ("" when
-// unprogrammed).
-func (w *worker) resident() string {
-	if bs := w.ad.Resident(); bs != nil {
-		return bs.Name
-	}
-	return ""
-}
-
 // Scheduler is the accelerator-as-a-service runtime.
 type Scheduler struct {
-	eng     *sim.Engine
+	tl      Timeline
 	cfg     Config
 	apps    map[string]*App
 	appList []string // registration order (deterministic iteration)
 	workers []*worker
 	queue   []*Job
 	nextID  int
+
+	// hasFabric records whether any worker is fabric-class: when true,
+	// the classic policies never place on CPU soft-path workers — those
+	// are spill capacity reserved for the Hybrid policy. A pure-CPU pool
+	// (no fabric workers) serves under every policy.
+	hasFabric bool
+
+	// Policy scratch (reused across pick calls; see policy.go).
+	idleScratch []*worker
+	estScratch  []sim.Time
 
 	// Outcome ledgers (exact mode; streaming mode keeps them empty and
 	// folds outcomes into agg instead).
@@ -147,18 +179,15 @@ type Scheduler struct {
 	// the scheduler's ledgers. Jobs bounced by the admission queue never
 	// started and are not reported.
 	OnResult func(*Job)
-
-	// finishFn is the one job-completion callback for the scheduler;
-	// serve schedules it with the job as the event argument, so the
-	// per-job service path allocates no closure.
-	finishFn func(any)
 }
 
-// New builds a scheduler over the given adapters and fabrics (one worker
-// per pair). At least one eFPGA is required.
-func New(eng *sim.Engine, adapters []*core.Adapter, fabrics []*efpga.Fabric, cfg Config) *Scheduler {
-	if len(adapters) == 0 || len(adapters) != len(fabrics) {
-		panic("sched: need at least one eFPGA (adapter/fabric pair)")
+// New builds a scheduler over the given execution backends (one worker
+// per backend). At least one backend is required; tl is the timeline the
+// backends schedule on (the sim.Engine for cycle-level workers, an
+// analytic timeline for model-only schedulers).
+func New(tl Timeline, backends []Backend, cfg Config) *Scheduler {
+	if len(backends) == 0 {
+		panic("sched: need at least one execution backend")
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = defaultQueueCap
@@ -166,22 +195,32 @@ func New(eng *sim.Engine, adapters []*core.Adapter, fabrics []*efpga.Fabric, cfg
 	if cfg.SettleCycles <= 0 {
 		cfg.SettleCycles = defaultSettleCycles
 	}
-	s := &Scheduler{eng: eng, cfg: cfg, apps: make(map[string]*App)}
+	s := &Scheduler{tl: tl, cfg: cfg, apps: make(map[string]*App)}
 	if cfg.Stats == StatsStreaming {
 		s.agg = &aggregate{}
 	}
-	for i := range adapters {
-		s.workers = append(s.workers, &worker{id: i, ad: adapters[i], fab: fabrics[i]})
+	for i, be := range backends {
+		s.workers = append(s.workers, &worker{id: i, be: be})
+		be.Bind(cfg.SettleCycles, s.complete)
+		if be.Kind() != BackendCPU {
+			s.hasFabric = true
+		}
 	}
-	s.finishFn = func(a any) { s.finish(a.(*Job)) }
 	return s
+}
+
+// usable reports whether the configured policy may place jobs on worker
+// w: CPU soft-path workers are spill capacity only — reserved for the
+// Hybrid policy whenever fabric-class workers exist.
+func (s *Scheduler) usable(w *worker) bool {
+	return s.cfg.Policy == Hybrid || !s.hasFabric || w.be.Kind() != BackendCPU
 }
 
 // Config reports the scheduler's configuration (defaults applied).
 func (s *Scheduler) Config() Config { return s.cfg }
 
 // RegisterApp adds an application to the service catalog, registering its
-// bitstream with every fabric's image library.
+// bitstream with every backend's image library.
 func (s *Scheduler) RegisterApp(app App) error {
 	if app.BS == nil || app.BS.Name == "" {
 		return fmt.Errorf("sched: app needs a named bitstream")
@@ -189,16 +228,11 @@ func (s *Scheduler) RegisterApp(app App) error {
 	if _, dup := s.apps[app.BS.Name]; dup {
 		return fmt.Errorf("sched: app %q already registered", app.BS.Name)
 	}
-	if app.CyclesPerItem <= 0 {
-		app.CyclesPerItem = 1
-	}
-	if app.BS.FmaxMHz > 0 {
-		app.period = sim.Time(1e6/app.BS.FmaxMHz + 0.5)
-	} else {
-		app.period = sim.Time(1e4) // 100 MHz fallback
-	}
+	app.Finalize()
 	for _, w := range s.workers {
-		w.fab.Register(app.BS)
+		if err := w.be.Register(app.BS); err != nil {
+			return err
+		}
 	}
 	s.apps[app.BS.Name] = &app
 	s.appList = append(s.appList, app.BS.Name)
@@ -211,7 +245,7 @@ func (s *Scheduler) Apps() []string { return append([]string(nil), s.appList...)
 // QueueLen reports the current admission-queue depth.
 func (s *Scheduler) QueueLen() int { return len(s.queue) }
 
-// Workers reports the number of eFPGA workers (adapter/fabric pairs).
+// Workers reports the number of execution-backend workers.
 func (s *Scheduler) Workers() int { return len(s.workers) }
 
 // Predict estimates the fabric occupancy of one job of the named app with
@@ -222,41 +256,46 @@ func (s *Scheduler) Predict(app string, inputSize int) (est sim.Time, ok bool) {
 	if !ok {
 		return 0, false
 	}
-	return sim.Time(a.cycles(inputSize)) * a.period, true
+	return sim.Time(a.Cycles(inputSize)) * a.period, true
 }
 
 // predict estimates a job's fabric occupancy from the catalog model (used
 // by SJF and for deadline admission by callers).
 func (s *Scheduler) predict(j *Job) sim.Time {
+	if j.app != nil {
+		return sim.Time(j.app.Cycles(j.InputSize)) * j.app.period
+	}
 	est, _ := s.Predict(j.App, j.InputSize)
 	return est
 }
 
 // Submit offers a job to the scheduler at the current simulation time. It
 // returns false when the job was not admitted: unknown application or a
-// bitstream no fabric can hold (the job lands in Failed with Err set), or
+// bitstream no worker can hold (the job lands in Failed with Err set), or
 // a full admission queue (counted in Rejected).
 func (s *Scheduler) Submit(j *Job) bool {
 	s.nextID++
 	j.ID = s.nextID
-	j.Submit = s.eng.Now()
+	now := s.tl.Now()
+	j.Submit = now
 	app, ok := s.apps[j.App]
 	if !ok {
 		j.Err = fmt.Errorf("sched: unknown app %q", j.App)
-		j.Finish = s.eng.Now() // dies at submit: zero-length lifetime
+		j.Finish = now // dies at submit: zero-length lifetime
 		s.retire(j)
 		return false
 	}
+	j.app = app
 	fits := false
 	for _, w := range s.workers {
-		if app.BS.Res.Fits(w.fab.Cap) {
+		if s.usable(w) && app.BS.Res.Fits(w.be.Capacity()) {
 			fits = true
 			break
 		}
 	}
 	if !fits {
-		j.Err = fmt.Errorf("sched: bitstream %q (%+v) exceeds every fabric's capacity", j.App, app.BS.Res)
-		j.Finish = s.eng.Now() // dies at submit: zero-length lifetime
+		j.Err = fmt.Errorf("sched: bitstream %q (%+v) exceeds every worker's capacity", j.App, app.BS.Res)
+		j.Finish = now // dies at submit: zero-length lifetime
 		s.retire(j)
 		return false
 	}
@@ -265,106 +304,53 @@ func (s *Scheduler) Submit(j *Job) bool {
 		return false
 	}
 	s.queue = append(s.queue, j)
-	s.dispatch()
+	s.dispatch(now)
 	return true
 }
 
 // dispatch drains the admission queue onto idle workers, one placement
-// per iteration, until the policy finds nothing placeable.
-func (s *Scheduler) dispatch() {
+// per iteration, until the policy finds nothing placeable. now is the
+// current instant (timeline reads are hoisted to the dispatch roots).
+func (s *Scheduler) dispatch(now sim.Time) {
 	for {
-		w, qi := s.pick()
+		w, qi := s.pick(now)
 		if w == nil {
 			return
 		}
 		j := s.queue[qi]
 		s.queue = append(s.queue[:qi], s.queue[qi+1:]...)
-		s.place(w, j)
+		s.place(w, j, now)
 	}
 }
 
-// place starts job j on worker w: directly when the needed bitstream is
-// resident, otherwise through the quiesce → program → resume flow.
-func (s *Scheduler) place(w *worker, j *Job) {
-	now := s.eng.Now()
+// place starts job j on worker w: the backend models the rest (resident
+// reuse vs reconfiguration, then the service time).
+func (s *Scheduler) place(w *worker, j *Job, now sim.Time) {
 	j.Start = now
 	j.Fabric = w.id
 	w.busy = true
 	w.busyAt = now
-	app := s.apps[j.App]
-	if w.resident() == j.App {
-		s.serve(w, j, app)
-		return
-	}
-	if !app.BS.Res.Fits(w.fab.Cap) {
-		// pick never pairs a job with a too-small fabric; this guards a
-		// future policy bug from wedging the worker.
-		s.fail(w, j, fmt.Errorf("sched: bitstream %q exceeds fabric %q capacity", j.App, w.fab.Name))
-		return
-	}
-	id, ok := w.fab.IDByName(j.App)
-	if !ok {
-		s.fail(w, j, fmt.Errorf("sched: bitstream %q not registered on fabric %q", j.App, w.fab.Name))
-		return
-	}
-	j.Reprogrammed = true
-	fast := w.ad.FastClock()
-	toggles := int64(len(w.ad.Hubs()))
-	if toggles == 0 {
-		toggles = 1
-	}
-	// Quiesce: one feature-switch round trip per hub, then the
-	// programming engine (streaming + integrity check), then hub
-	// re-enable, then the configuration settle time.
-	saved := w.ad.QuiesceHubs()
-	s.eng.After(fast.Cycles(toggles*hubToggleCycles), func() {
-		w.ad.ProgramAsync(id, func(err error) {
-			if err != nil {
-				// Restore the pre-quiesce hub state before surfacing the
-				// failure, so the adapter is not left quiesced forever.
-				w.ad.ResumeHubs(saved)
-				s.fail(w, j, err)
-				return
-			}
-			w.reconfigs++
-			// The scheduler owns the adapter while serving: the incoming
-			// tenant is granted every Memory Hub.
-			w.ad.ResumeHubs(^uint64(0))
-			s.eng.After(fast.Cycles(toggles*hubToggleCycles), func() {
-				if app.BS.FmaxMHz > 0 {
-					w.fab.SetFreqMHz(app.BS.FmaxMHz)
-				}
-				s.eng.After(w.fab.Clock().Cycles(s.cfg.SettleCycles), func() {
-					s.serve(w, j, app)
-				})
-			})
-		})
-	})
+	app := j.app
+	w.estFree = now + w.be.ReconfigCost(app) + w.be.ServiceTime(app, j.InputSize)
+	w.be.Dispatch(j, app)
 }
 
-// serve occupies the fabric for the job's modeled service time.
-func (s *Scheduler) serve(w *worker, j *Job, app *App) {
-	if app.BS.FmaxMHz > 0 && w.fab.Clock().FreqMHz() != app.BS.FmaxMHz {
-		w.fab.SetFreqMHz(app.BS.FmaxMHz)
-	}
-	s.eng.AfterArg(w.fab.Clock().Cycles(app.cycles(j.InputSize)), s.finishFn, j)
-}
-
-// finish retires a served job (j.Fabric names the worker it occupied).
-func (s *Scheduler) finish(j *Job) {
+// complete retires a dispatched job at its finish instant (the bound
+// backend callback; j.Fabric names the worker it occupied).
+func (s *Scheduler) complete(j *Job, err error) {
 	w := s.workers[j.Fabric]
-	j.Finish = s.eng.Now()
-	w.jobs++
+	now := s.tl.Now()
+	j.Finish = now
+	if err != nil {
+		j.Err = err
+	} else {
+		w.jobs++
+		if j.Reprogrammed {
+			w.reconfigs++
+		}
+	}
 	s.retire(j)
-	s.release(w)
-}
-
-// fail records a job that died on its worker and frees the worker.
-func (s *Scheduler) fail(w *worker, j *Job, err error) {
-	j.Err = err
-	j.Finish = s.eng.Now()
-	s.retire(j)
-	s.release(w)
+	s.release(w, now)
 }
 
 // retire records a finished job — completed or failed — in the
@@ -384,8 +370,8 @@ func (s *Scheduler) retire(j *Job) {
 }
 
 // release returns a worker to the idle pool and re-runs dispatch.
-func (s *Scheduler) release(w *worker) {
-	w.busyTotal += s.eng.Now() - w.busyAt
+func (s *Scheduler) release(w *worker, now sim.Time) {
+	w.busyTotal += now - w.busyAt
 	w.busy = false
-	s.dispatch()
+	s.dispatch(now)
 }

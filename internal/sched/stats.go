@@ -181,7 +181,7 @@ func (s *Scheduler) Stats() Stats {
 func (s *Scheduler) fabricStats(st Stats) Stats {
 	for _, w := range s.workers {
 		fs := FabricStats{
-			Name: w.fab.Name, Jobs: w.jobs, Reconfigs: w.reconfigs, Busy: w.busyTotal,
+			Name: w.be.Name(), Jobs: w.jobs, Reconfigs: w.reconfigs, Busy: w.busyTotal,
 		}
 		if st.Makespan > 0 {
 			fs.Utilization = float64(w.busyTotal) / float64(st.Makespan)

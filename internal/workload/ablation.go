@@ -81,7 +81,7 @@ func MeasureHubWindow(outstanding int, freqMHz float64) float64 {
 	acc := &bwAccel{}
 	bs := efpga.Synthesize(efpga.Design{Name: "scratchpad", LUTLogic: 200, RAMKb: 32, RegBits: 256, PipelineDepth: 3},
 		func() efpga.Accelerator { return acc })
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		panic(err)
 	}
@@ -119,7 +119,7 @@ func MeasureSyncStagesLatency(stages int, freqMHz float64) sim.Time {
 	})
 	bs := efpga.Synthesize(efpga.Design{Name: "reg", LUTLogic: 40, PipelineDepth: 2},
 		func() efpga.Accelerator { return accelNop{} })
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		panic(err)
 	}

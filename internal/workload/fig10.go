@@ -126,7 +126,7 @@ func MeasureBandwidth(mech Mechanism, freqMHz float64) Fig10Row {
 	acc := &bwAccel{shadowRegs: mech == ShadowReg || mech == NormalReg}
 	bs := efpga.Synthesize(efpga.Design{Name: "scratchpad", LUTLogic: 200, RAMKb: 32, RegBits: 256, PipelineDepth: 3},
 		func() efpga.Accelerator { return acc })
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		panic(err)
 	}

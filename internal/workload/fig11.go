@@ -62,7 +62,7 @@ func MeasureContention(kind ContentionKind, procs int) Fig11Row {
 	})
 	bs := efpga.Synthesize(efpga.Design{Name: "regfile", LUTLogic: 64, RegBits: 64, PipelineDepth: 2},
 		func() efpga.Accelerator { return accelNop{} })
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		panic(err)
 	}

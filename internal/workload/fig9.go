@@ -136,7 +136,7 @@ func buildLatencySystem(style duet.Style, freqMHz float64) (*duet.System, *fig9A
 	acc.addrY = lineHomedAt(sys, sys.Alloc(4096), 0)
 	bs := efpga.Synthesize(efpga.Design{Name: "scratchpad", LUTLogic: 200, RAMKb: 32, RegBits: 256, PipelineDepth: 3},
 		func() efpga.Accelerator { return acc })
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		panic(err)
 	}

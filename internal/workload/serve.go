@@ -1,12 +1,15 @@
 package workload
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/rand"
 
 	"duet"
 	"duet/internal/accel"
 	"duet/internal/cluster"
 	"duet/internal/efpga"
+	"duet/internal/model"
 	"duet/internal/sched"
 	"duet/internal/sim"
 	"duet/internal/study"
@@ -14,10 +17,52 @@ import (
 
 // This file implements the accelerator-as-a-service study behind
 // `duetsim serve`: an open-loop, seeded arrival process over the paper's
-// application accelerators, played through internal/sched on a
-// multi-eFPGA Dolly instance. The arrival stream is a deterministic
-// function of the seed, so repeated runs at the same seed produce
-// identical results under every policy.
+// application accelerators, played through internal/sched on a serve
+// replica. The arrival stream is a deterministic function of the seed,
+// so repeated runs at the same seed produce identical results under
+// every policy and execution backend.
+
+// BackendMode selects the execution backend a serve replica runs on.
+type BackendMode int
+
+// Backend modes.
+const (
+	// BackendCycle is the cycle-level path: a full Dolly instance
+	// (cores, NoC, coherence, adapters) with sched.CycleBackend workers.
+	BackendCycle BackendMode = iota
+	// BackendModel is internal/model's calibrated analytic fast path:
+	// the same scheduler and the same App service/reprogram charges with
+	// no Dolly instance and no event engine behind them.
+	BackendModel
+	// BackendHybrid is the cycle-level path plus CPU soft-path fallback
+	// workers (SoftCPUs of them) the scheduler can spill to — pair it
+	// with sched.Hybrid for the dynamic hardware/software partitioning
+	// scenario.
+	BackendHybrid
+	NumBackendModes
+)
+
+func (m BackendMode) String() string {
+	names := [...]string{"cycle", "model", "hybrid"}
+	if m < 0 || int(m) >= len(names) {
+		return "unknown"
+	}
+	return names[m]
+}
+
+// MarshalJSON encodes the mode as its String name for machine-readable
+// study output.
+func (m BackendMode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// BackendModeByName parses a backend mode as printed by String.
+func BackendModeByName(name string) (BackendMode, error) {
+	for m := BackendMode(0); m < NumBackendModes; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown backend %q", name)
+}
 
 // ServeConfig parameterizes one serve run.
 type ServeConfig struct {
@@ -33,11 +78,24 @@ type ServeConfig struct {
 	// ledgers (default) or fixed-memory streaming digests for
 	// million-job runs (see sched.StatsMode).
 	Stats sched.StatsMode
+
+	// Backend selects the execution backend (default BackendCycle; the
+	// cycle and model backends produce matching statistics — see the
+	// cross-validation study in xval.go).
+	Backend BackendMode
+	// SoftCPUs is the number of CPU soft-path workers appended after the
+	// fabrics (hybrid and model backends; defaults to 1 under
+	// BackendHybrid).
+	SoftCPUs int
+	// CPUSlowdown calibrates the soft path (defaults to
+	// model.DefaultCPUSlowdown, the paper's Fig. 12 geomean speedup).
+	CPUSlowdown float64
 }
 
 // ServeResult is the outcome of one serve run.
 type ServeResult struct {
 	Policy  sched.Policy
+	Backend BackendMode
 	Offered int
 	sched.Stats
 }
@@ -84,24 +142,75 @@ func (cfg ServeConfig) withDefaults() ServeConfig {
 	if cfg.MeanGapUS <= 0 {
 		cfg.MeanGapUS = 25
 	}
+	if cfg.Backend == BackendHybrid && cfg.SoftCPUs <= 0 {
+		cfg.SoftCPUs = 1
+	}
 	return cfg
 }
 
-// newServeSystem builds one Dolly instance with the full serve catalog
-// registered — a single-shard serve replica. cfg must have defaults
-// applied.
-func newServeSystem(cfg ServeConfig) (*duet.System, *sched.Scheduler, error) {
-	sys := duet.New(duet.Config{
-		Cores: 1, MemHubs: cfg.MemHubs, EFPGAs: cfg.EFPGAs, Style: duet.StyleDuet,
-	})
-	sch := sys.Scheduler(sched.Config{Policy: cfg.Policy, QueueCap: cfg.QueueCap, Stats: cfg.Stats})
+// registerServeApps installs the full serve catalog on a scheduler.
+func registerServeApps(sch *sched.Scheduler) error {
 	for _, a := range ServeApps {
 		bs := accel.Synthesize(a.Name, func() efpga.Accelerator { return serveStub{} })
 		if err := sch.RegisterApp(sched.App{BS: bs, FixedCycles: a.Fixed, CyclesPerItem: a.PerItem}); err != nil {
-			return nil, nil, err
+			return err
 		}
 	}
-	return sys, sch, nil
+	return nil
+}
+
+// newServeReplica builds one serve replica for cfg's backend mode:
+// a cycle-level Dolly instance, the analytic model replica, or a hybrid
+// Dolly + CPU-soft-path pool. cfg must have defaults applied. checked
+// selects RunChecked (coherence validation) for engine-backed replicas;
+// harvest keeps the exact-mode per-job samples (cluster shards need
+// them for exact merged quantiles; single-replica Serve reads Stats
+// only and skips the duplicate O(jobs) copy).
+func newServeReplica(cfg ServeConfig, checked, harvest bool) (cluster.Replica, error) {
+	if cfg.Backend == BackendModel {
+		rep := model.NewReplica(model.Config{
+			EFPGAs: cfg.EFPGAs, SoftCPUs: cfg.SoftCPUs, MemHubs: cfg.MemHubs,
+			Policy: cfg.Policy, QueueCap: cfg.QueueCap, Stats: cfg.Stats,
+			CPUSlowdown: cfg.CPUSlowdown, DiscardSamples: !harvest,
+		})
+		if err := registerServeApps(rep.Scheduler()); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	sys := duet.New(duet.Config{
+		Cores: 1, MemHubs: cfg.MemHubs, EFPGAs: cfg.EFPGAs, Style: duet.StyleDuet,
+	})
+	var soft []sched.Backend
+	if cfg.Backend == BackendHybrid {
+		for i := 0; i < cfg.SoftCPUs; i++ {
+			soft = append(soft, model.NewCPU(sys.Eng, fmt.Sprintf("cpu%d", i), cfg.CPUSlowdown))
+		}
+	}
+	sch := sys.SchedulerWith(sched.Config{
+		Policy: cfg.Policy, QueueCap: cfg.QueueCap, Stats: cfg.Stats,
+	}, soft...)
+	if err := registerServeApps(sch); err != nil {
+		return nil, err
+	}
+	run := func() error {
+		sys.Run()
+		return nil
+	}
+	if checked {
+		run = func() error {
+			_, err := sys.RunChecked()
+			return err
+		}
+	}
+	return &cluster.EngineReplica{Eng: sys.Eng, Sch: sch, Run: run, DiscardSamples: !harvest}, nil
+}
+
+// Arrivals generates cfg's open-loop arrival stream (defaults applied) —
+// the exact stream Serve and ServeCluster play. Exported so benchmarks
+// and studies can pre-generate the stream outside their timed region.
+func Arrivals(cfg ServeConfig) []cluster.Arrival {
+	return serveArrivals(cfg.withDefaults())
 }
 
 // serveArrivals generates the study's open-loop arrival stream:
@@ -130,17 +239,15 @@ func serveArrivals(cfg ServeConfig) []cluster.Arrival {
 // reports its statistics.
 func Serve(cfg ServeConfig) ServeResult {
 	cfg = cfg.withDefaults()
-	sys, sch, err := newServeSystem(cfg)
+	rep, err := newServeReplica(cfg, false, false)
 	if err != nil {
 		panic(err)
 	}
-	submit := func(a any) { sch.Submit(a.(*sched.Job)) }
-	for _, a := range serveArrivals(cfg) {
-		job := a.Job
-		sys.Eng.AtArg(a.At, submit, &job)
+	sr, err := rep.Play(serveArrivals(cfg), nil)
+	if err != nil {
+		panic(err)
 	}
-	sys.Run()
-	return ServeResult{Policy: cfg.Policy, Offered: cfg.Jobs, Stats: sch.Stats()}
+	return ServeResult{Policy: cfg.Policy, Backend: cfg.Backend, Offered: cfg.Jobs, Stats: sr.Stats}
 }
 
 // ServeStudy runs one Serve per config on a parallel-wide study pool

@@ -9,25 +9,50 @@ import (
 )
 
 // This file implements the sharded study behind `duetsim cluster`: the
-// Serve arrival stream dispatched across N independent Dolly replicas
-// (each a complete System with its own engine, adapters, fabrics and
-// scheduler) by a deterministic front end. It is the scale axis past one
-// System: per (seed, shards, front end, policy) the merged result is
-// byte-identical across runs regardless of goroutine interleaving, and a
-// 1-shard cluster reproduces workload.Serve exactly.
+// Serve arrival stream dispatched across N independent serve replicas by
+// a deterministic front end. It is the scale axis past one System: per
+// (seed, shards, front end, policy, backend, shard specs) the merged
+// result is byte-identical across runs regardless of goroutine
+// interleaving, and a 1-shard cluster reproduces workload.Serve exactly.
+//
+// Shards need not be replicas of one another: ShardSpecs gives each
+// shard its own backend mode, fabric count and soft-CPU pool, and the
+// front ends route by each shard's own catalog model — a heterogeneous
+// serve farm (e.g. cycle-level shards fronting a model-backend overflow
+// tier, or big and small fabric pools side by side).
+
+// ShardSpec overrides one shard's build in a heterogeneous cluster.
+// Backend is absolute (its zero value is BackendCycle); the other
+// zero-valued fields inherit the cluster's base ServeConfig.
+type ShardSpec struct {
+	Backend  BackendMode
+	EFPGAs   int
+	SoftCPUs int
+	Policy   sched.Policy // effective only when SetPolicy is true
+	// SetPolicy marks Policy as an override (sched.FIFO is a valid
+	// policy and the zero value, so presence needs an explicit flag).
+	SetPolicy bool
+}
 
 // ClusterConfig parameterizes one sharded serve run. The embedded
-// ServeConfig describes each replica (eFPGAs, hubs, scheduler policy) and
-// the shared arrival stream (jobs, seed, mean gap).
+// ServeConfig describes each replica (eFPGAs, hubs, scheduler policy,
+// execution backend) and the shared arrival stream (jobs, seed, mean
+// gap); ShardSpecs, when non-empty, overrides per-shard builds.
 type ClusterConfig struct {
 	ServeConfig
 	Shards   int              // independent replicas (default 2)
 	FrontEnd cluster.FrontEnd // arrival-routing policy
+
+	// ShardSpecs makes the cluster heterogeneous: spec i overrides shard
+	// i's backend/fabric-count/soft-CPU/policy configuration. Must be
+	// empty or exactly Shards long.
+	ShardSpecs []ShardSpec
 }
 
 // ClusterResult is the outcome of one sharded serve run.
 type ClusterResult struct {
 	Policy   sched.Policy
+	Backend  BackendMode
 	FrontEnd cluster.FrontEnd
 	Shards   int
 	Offered  int
@@ -35,12 +60,43 @@ type ClusterResult struct {
 	PerShard []cluster.ShardResult
 }
 
+// shardConfig resolves shard i's ServeConfig under cfg's specs.
+func (cfg ClusterConfig) shardConfig(shard int) ServeConfig {
+	sc := cfg.ServeConfig
+	if len(cfg.ShardSpecs) == 0 {
+		return sc
+	}
+	spec := cfg.ShardSpecs[shard]
+	sc.Backend = spec.Backend
+	if spec.EFPGAs > 0 {
+		sc.EFPGAs = spec.EFPGAs
+	}
+	if spec.SoftCPUs > 0 {
+		sc.SoftCPUs = spec.SoftCPUs
+	}
+	if spec.SetPolicy {
+		sc.Policy = spec.Policy
+	}
+	return sc.withDefaults()
+}
+
 // ServeCluster plays the seeded open-loop workload through a sharded
 // serve farm and reports the merged statistics.
 func ServeCluster(cfg ClusterConfig) (ClusterResult, error) {
+	return ServeClusterOver(cfg, serveArrivals(cfg.ServeConfig.withDefaults()))
+}
+
+// ServeClusterOver is ServeCluster over a caller-provided arrival stream
+// (see Arrivals) — benchmarks use it to keep stream generation outside
+// their timed region. The stream is consumed by the run: replicas write
+// job outcomes into it, so callers must generate a fresh stream per run.
+func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResult, error) {
 	cfg.ServeConfig = cfg.ServeConfig.withDefaults()
 	if cfg.Shards <= 0 {
 		cfg.Shards = 2
+	}
+	if len(cfg.ShardSpecs) != 0 && len(cfg.ShardSpecs) != cfg.Shards {
+		return ClusterResult{}, fmt.Errorf("workload: %d shard specs for %d shards", len(cfg.ShardSpecs), cfg.Shards)
 	}
 	res, err := cluster.Run(cluster.Config{
 		Shards:   cfg.Shards,
@@ -49,26 +105,16 @@ func ServeCluster(cfg ClusterConfig) (ClusterResult, error) {
 		// The serve replica draws nothing locally (arrivals are
 		// pre-generated, accelerators are inert stubs), so the derived
 		// per-shard seed is accepted but unused.
-		NewReplica: func(shard int, seed int64) (*cluster.Replica, error) {
-			sys, sch, err := newServeSystem(cfg.ServeConfig)
-			if err != nil {
-				return nil, err
-			}
-			return &cluster.Replica{
-				Eng: sys.Eng,
-				Sch: sch,
-				Run: func() error {
-					_, err := sys.RunChecked()
-					return err
-				},
-			}, nil
+		NewReplica: func(shard int, seed int64) (cluster.Replica, error) {
+			return newServeReplica(cfg.shardConfig(shard), true, true)
 		},
-	}, serveArrivals(cfg.ServeConfig))
+	}, stream)
 	if err != nil {
 		return ClusterResult{}, err
 	}
 	return ClusterResult{
 		Policy:   cfg.Policy,
+		Backend:  cfg.Backend,
 		FrontEnd: res.FrontEnd,
 		Shards:   res.Shards,
 		Offered:  res.Offered,

@@ -166,7 +166,7 @@ func New(cfg Config) *System {
 
 	capacity := cfg.FabricCap
 	if capacity == (efpga.Resources{}) {
-		capacity = efpga.Resources{LUTs: 1 << 20, FFs: 1 << 21, BRAMKb: 1 << 16, DSPs: 1 << 12}
+		capacity = efpga.DefaultFabricCap
 	}
 	for a := 0; a < cfg.EFPGAs; a++ {
 		fab := efpga.NewFabric(eng, fmt.Sprintf("efpga%d", a), capacity)
@@ -233,7 +233,9 @@ func (s *System) InstallAccelerator(bs *efpga.Bitstream) error {
 // InstallAcceleratorOn installs a bitstream on eFPGA idx.
 func (s *System) InstallAcceleratorOn(idx int, bs *efpga.Bitstream) error {
 	fab := s.Fabrics[idx]
-	fab.Register(bs)
+	if _, err := fab.Register(bs); err != nil {
+		return err
+	}
 	if err := fab.Configure(bs); err != nil {
 		return err
 	}
@@ -261,8 +263,18 @@ func (s *System) readMem(addr uint64, size int) uint64 {
 // use. Subsequent calls return the existing scheduler and ignore cfg.
 // CPU-only systems have no eFPGAs and therefore no scheduler (panics).
 func (s *System) Scheduler(cfg sched.Config) *sched.Scheduler {
+	return s.SchedulerWith(cfg)
+}
+
+// SchedulerWith is Scheduler with extra execution backends appended
+// after the system's cycle-level eFPGA workers — e.g. internal/model's
+// CPU soft-path fallback for hybrid placement. Like Scheduler it builds
+// on first use only; extra backends must schedule on this system's
+// engine.
+func (s *System) SchedulerWith(cfg sched.Config, extra ...sched.Backend) *sched.Scheduler {
 	if s.scheduler == nil {
-		s.scheduler = sched.New(s.Eng, s.Adapters, s.Fabrics, cfg)
+		backends := sched.CycleBackends(s.Eng, s.Adapters, s.Fabrics)
+		s.scheduler = sched.New(s.Eng, append(backends, extra...), cfg)
 	}
 	return s.scheduler
 }

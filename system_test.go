@@ -39,7 +39,7 @@ func newEchoSystem(t *testing.T, style Style) *System {
 	sys := New(Config{Cores: 1, MemHubs: 1, Style: style, RegSpecs: echoSpecs(), FPGAFreqMHz: 100})
 	bs := efpga.Synthesize(efpga.Design{Name: "echo", LUTLogic: 100, RegBits: 64, PipelineDepth: 3},
 		func() efpga.Accelerator { return &echoAccel{gain: 3} })
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestPlainShadowSyncsBothWays(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestTokenFIFO(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestClaimedNormalRegisterBarrier(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestIOOrderingShadowBehindNormal(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestMemoryHubCoherentAccess(t *testing.T) {
 			addr := sys.Alloc(64)
 			bs := efpga.Synthesize(efpga.Design{Name: "mem", LUTLogic: 50, PipelineDepth: 3},
 				func() efpga.Accelerator { return &memAccel{addr: addr} })
-			sys.Fabric.Register(bs)
+			sys.Fabric.MustRegister(bs)
 			if err := sys.Fabric.Configure(bs); err != nil {
 				t.Fatal(err)
 			}
@@ -316,7 +316,7 @@ func TestHubInvalidationPushToSoftCacheSink(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,7 @@ func TestTLBFaultResolvedByKernel(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func TestTLBFaultUnmappedKillsAccelerator(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +434,7 @@ func TestParityExceptionContainment(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +472,7 @@ func TestTimeoutExceptionOnHungAccelerator(t *testing.T) {
 	// time out, latch an error, and return bogus data instead of hanging.
 	bs := efpga.Synthesize(efpga.Design{Name: "hung", LUTLogic: 10, PipelineDepth: 2},
 		func() efpga.Accelerator { return accelFunc(func(env *efpga.Env) {}) })
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -499,8 +499,8 @@ func TestMMIOProgrammingFlow(t *testing.T) {
 	bad := efpga.Synthesize(efpga.Design{Name: "corrupt", LUTLogic: 100, PipelineDepth: 3},
 		func() efpga.Accelerator { return &echoAccel{gain: 1} })
 	bad.Corrupt()
-	goodID := sys.Fabric.Register(good)
-	badID := sys.Fabric.Register(bad)
+	goodID := sys.Fabric.MustRegister(good)
+	badID := sys.Fabric.MustRegister(bad)
 	var progBad, progGood bool
 	var echoed uint64
 	sys.Cores[0].Run("host", func(p cpu.Proc) {
@@ -526,7 +526,7 @@ func TestProgrammingRequiresDisabledHubs(t *testing.T) {
 	sys := newEchoSystem(t, StyleDuet)
 	bs := efpga.Synthesize(efpga.Design{Name: "x", LUTLogic: 10, PipelineDepth: 2},
 		func() efpga.Accelerator { return accelFunc(func(*efpga.Env) {}) })
-	id := sys.Fabric.Register(bs)
+	id := sys.Fabric.MustRegister(bs)
 	var ok bool
 	sys.Cores[0].Run("host", func(p cpu.Proc) {
 		EnableHub(p, 0, false, false, false)
@@ -552,7 +552,7 @@ func TestWriteNoAllocateSwitch(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -592,7 +592,7 @@ func TestAtomicsSwitchGate(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -635,7 +635,7 @@ func TestMultiHubSystem(t *testing.T) {
 			})
 		})
 	})
-	sys.Fabric.Register(bs)
+	sys.Fabric.MustRegister(bs)
 	if err := sys.Fabric.Configure(bs); err != nil {
 		t.Fatal(err)
 	}
@@ -683,7 +683,7 @@ func TestProgramPollBound(t *testing.T) {
 		Factory: func() efpga.Accelerator { return accelFunc(func(*efpga.Env) {}) },
 	}
 	slow.CRC = slow.Checksum()
-	id := sys.Fabric.Register(slow)
+	id := sys.Fabric.MustRegister(slow)
 	var st ProgStatus
 	sys.Cores[0].Run("host", func(p cpu.Proc) {
 		st = ProgramStatus(p, id)
@@ -728,7 +728,7 @@ func TestProgramAsyncBusyRejected(t *testing.T) {
 	sys := New(Config{Cores: 1, MemHubs: 1, Style: StyleDuet})
 	bs := efpga.Synthesize(efpga.Design{Name: "solo", LUTLogic: 20, PipelineDepth: 2},
 		func() efpga.Accelerator { return accelFunc(func(*efpga.Env) {}) })
-	id := sys.Fabric.Register(bs)
+	id := sys.Fabric.MustRegister(bs)
 	var firstErr, secondErr error
 	firstDone := false
 	sys.Adapter.ProgramAsync(id, func(err error) { firstDone = true; firstErr = err })
