@@ -1,0 +1,154 @@
+// Command benchsnap turns `go test -bench` output into a committed,
+// stable-key JSON snapshot (BENCH_duetsim.json) and gates regressions
+// against it — the repo's committed perf trajectory.
+//
+//	go test -bench ... | benchsnap -out BENCH_duetsim.json   # refresh the snapshot
+//	go test -bench ... | benchsnap -check BENCH_duetsim.json # fail on >30% ns/op regression
+//
+// The snapshot maps benchmark name (GOMAXPROCS suffix stripped, so the
+// key is machine-shape independent) to its measured ns/op and iteration
+// count. Keys marshal sorted, so refreshing the snapshot produces a
+// minimal diff. -check compares the piped run against the snapshot: a
+// benchmark missing from the run, or slower than the snapshot by more
+// than -tolerance (default 0.30), fails the gate. New benchmarks not yet
+// in the snapshot are reported but pass — they gate only once committed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark's snapshot record.
+type Entry struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Snapshot is the on-disk form: a name-to-entry map (sorted keys) under
+// a versioned envelope so the format can grow fields without breaking
+// old gates.
+type Snapshot struct {
+	Note       string           `json:"note"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+const snapshotNote = "regenerate with scripts/bench.sh; CI gates ns/op against this file (scripts/bench.sh check)"
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkServeModel1M-8   1   123456789 ns/op   16 B/op ...
+//
+// The -N GOMAXPROCS suffix is stripped from the captured name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+func parse(r io.Reader) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchsnap: %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchsnap: %q: %w", sc.Text(), err)
+		}
+		// Repeated names (e.g. -count > 1): keep the fastest run, the
+		// stablest estimate of the code's actual cost under CI noise.
+		if prev, ok := out[m[1]]; !ok || ns < prev.NsPerOp {
+			out[m[1]] = Entry{Iterations: iters, NsPerOp: ns}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchsnap: no benchmark result lines on input (pipe `go test -bench` output)")
+	}
+	return out, nil
+}
+
+func main() {
+	outPath := flag.String("out", "", "write the snapshot of the piped run to `file`")
+	checkPath := flag.String("check", "", "compare the piped run against snapshot `file` and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.30, "maximum allowed ns/op regression vs the snapshot (0.30 = +30%)")
+	flag.Parse()
+	if (*outPath == "") == (*checkPath == "") {
+		fmt.Fprintln(os.Stderr, "benchsnap: exactly one of -out or -check is required")
+		os.Exit(2)
+	}
+	got, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	if *outPath != "" {
+		b, err := json.MarshalIndent(Snapshot{Note: snapshotNote, Benchmarks: got}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchsnap: wrote %d benchmarks to %s\n", len(got), *outPath)
+		return
+	}
+	data, err := os.ReadFile(*checkPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: parsing %s: %v\n", *checkPath, err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(snap.Benchmarks))
+	for name := range snap.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		base := snap.Benchmarks[name]
+		cur, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %s: in snapshot but missing from this run\n", name)
+			failed = true
+			continue
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		verdict := "ok  "
+		if ratio > 1+*tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: %.0f ns/op vs snapshot %.0f (%+.1f%%, gate +%.0f%%)\n",
+			verdict, name, cur.NsPerOp, base.NsPerOp, 100*(ratio-1), 100**tolerance)
+	}
+	for name := range got {
+		if _, ok := snap.Benchmarks[name]; !ok {
+			fmt.Printf("new  %s: %.0f ns/op (not in snapshot; refresh to gate it)\n", name, got[name].NsPerOp)
+		}
+	}
+	if failed {
+		fmt.Printf("benchsnap: regression gate FAILED (tolerance +%.0f%%)\n", 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: %d benchmarks within +%.0f%% of %s\n", len(names), 100**tolerance, *checkPath)
+}

@@ -13,6 +13,7 @@
 //	duetsim cluster         # sharded serve farm across N serve replicas
 //	duetsim xval            # model-vs-cycle backend cross-validation gate
 //	duetsim study           # fig9+fig10+fig11+ablations in one sweep
+//	duetsim report          # summarize a saved -windows series (-in FILE)
 //	duetsim all             # the paper's tables and figures above
 //
 // Every sweep (fig9, fig10, fig11, ablate, study, serve, cluster, xval)
@@ -25,6 +26,15 @@
 // Dolly instances, the calibrated analytic model, or hybrid cycle + CPU
 // soft-path spill).
 //
+// -windows N turns on the simulated-time flight recorder for serve and
+// cluster: the run's span is split into N windows and every result
+// carries a per-window telemetry series (internal/telemetry) — counters,
+// per-worker busy time, queue high-water mark and p50/p99 sojourn per
+// window. -out FILE redirects stdout to FILE; `report -in FILE` loads a
+// saved run (full -json document, bare series array, or CSV) and prints
+// per-window tables plus worst-window summaries, and `report -csv`
+// re-emits the loaded series as CSV.
+//
 // Absolute numbers come from this repository's cycle-level models; the
 // paper's own numbers are printed alongside where published. See
 // EXPERIMENTS.md for the paper-vs-measured discussion.
@@ -34,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -46,6 +57,7 @@ import (
 	"duet/internal/cluster"
 	"duet/internal/sched"
 	"duet/internal/sim"
+	"duet/internal/telemetry"
 	"duet/internal/workload"
 )
 
@@ -60,6 +72,10 @@ func main() {
 	statsMode := flag.String("stats", "exact", "serve/cluster latency stats: exact (per-job ledgers) or stream (fixed-memory digest)")
 	backend := flag.String("backend", "cycle", "serve/cluster execution backend: cycle (Dolly instance), model (analytic fast path), hybrid (cycle + CPU soft-path spill)")
 	softCPUs := flag.Int("softcpus", 0, "serve/cluster: CPU soft-path workers per replica (hybrid backend defaults to 1)")
+	windows := flag.Int("windows", 0, "serve/cluster: record a flight-recorder series over N simulated-time windows (0 = off)")
+	outPath := flag.String("out", "", "redirect stdout to `file` (report reads such files back with -in)")
+	inPath := flag.String("in", "", "report: load the series from `file` (default stdin)")
+	csvOut := flag.Bool("csv", false, "report: re-emit the loaded series as CSV instead of tables")
 	tolerance := flag.Float64("tolerance", workload.XValTolerance, "xval: maximum model-vs-cycle p50/p99 relative error before failing")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the executed commands to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the commands to `file`")
@@ -110,6 +126,20 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// -out redirects everything the commands print — tables, -json
+	// documents, CSV — while diagnostics stay on stderr. Reassigning
+	// os.Stdout covers every print path below without threading a writer
+	// through each command.
+	closeOut := func() error { return nil }
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duetsim: -out: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout = f
+		closeOut = f.Close
+	}
 	// Profiling wraps only the command runs (flag parsing and usage errors
 	// are excluded), so kernel regressions can be profiled straight from
 	// the CLI: duetsim -cpuprofile cpu.out cluster; go tool pprof cpu.out
@@ -140,10 +170,16 @@ loop:
 		case "study":
 			studyCmd(*parallel, *quick, *jsonOut)
 		case "serve":
-			serve(*parallel, *seed, *jobs, *efpgas, mode, beMode, *softCPUs, *jsonOut)
+			serve(*parallel, *seed, *jobs, *efpgas, mode, beMode, *softCPUs, *windows, *jsonOut)
 		case "cluster":
-			if err := clusterCmd(*parallel, *seed, *jobs, *efpgas, *shards, mode, beMode, *softCPUs, *jsonOut); err != nil {
+			if err := clusterCmd(*parallel, *seed, *jobs, *efpgas, *shards, mode, beMode, *softCPUs, *windows, *jsonOut); err != nil {
 				fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+				code = 1
+				break loop
+			}
+		case "report":
+			if err := reportCmd(*inPath, *csvOut); err != nil {
+				fmt.Fprintf(os.Stderr, "report: %v\n", err)
 				code = 1
 				break loop
 			}
@@ -168,6 +204,12 @@ loop:
 	}
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "duetsim: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if err := closeOut(); err != nil {
+		fmt.Fprintf(os.Stderr, "duetsim: -out: %v\n", err)
 		if code == 0 {
 			code = 1
 		}
@@ -217,7 +259,7 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|all}...")
+	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-windows N] [-out F] [-in F] [-csv] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|report|all}...")
 }
 
 func header(title string) {
@@ -430,12 +472,12 @@ func servePolicies(beMode workload.BackendMode) []sched.Policy {
 	return ps
 }
 
-func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs int, jsonOut bool) {
+func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs, windows int, jsonOut bool) {
 	var cfgs []workload.ServeConfig
 	for _, p := range servePolicies(beMode) {
 		cfgs = append(cfgs, workload.ServeConfig{
 			Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode,
-			Backend: beMode, SoftCPUs: softCPUs,
+			Backend: beMode, SoftCPUs: softCPUs, Windows: windows,
 		})
 	}
 	results := workload.ServeStudy(parallel, cfgs)
@@ -468,6 +510,12 @@ func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, beM
 	}
 	w.Flush()
 	fmt.Println("Reuse-aware placement avoids reprogramming; output is byte-identical per seed.")
+	if windows > 0 {
+		fmt.Println("\nFlight recorder (worst windows per policy):")
+		for _, r := range results {
+			printWindowSummary(fmt.Sprintf("%v", r.Policy), r.Windows)
+		}
+	}
 }
 
 // clusterRow is the machine-readable projection of a ClusterResult: the
@@ -481,6 +529,11 @@ type clusterRow struct {
 	Offered   int                  `json:"offered"`
 	Merged    sched.Stats          `json:"merged"`
 	ShardJobs []int                `json:"shard_jobs"`
+
+	// Windows is the merged flight-recorder series (present only under
+	// -windows); `duetsim report` extracts these arrays back out of the
+	// document.
+	Windows []telemetry.WindowRow `json:"windows,omitempty"`
 }
 
 // scalingRow is one step of the cluster throughput-scaling sweep.
@@ -494,7 +547,7 @@ type scalingRow struct {
 func toClusterRow(r workload.ClusterResult) clusterRow {
 	row := clusterRow{
 		FrontEnd: r.FrontEnd, Policy: r.Policy, Backend: r.Backend, Shards: r.Shards,
-		Offered: r.Offered, Merged: r.Merged,
+		Offered: r.Offered, Merged: r.Merged, Windows: r.Windows,
 	}
 	for _, s := range r.PerShard {
 		row.ShardJobs = append(row.ShardJobs, s.Stats.Completed)
@@ -502,20 +555,23 @@ func toClusterRow(r workload.ClusterResult) clusterRow {
 	return row
 }
 
-func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs int, jsonOut bool) error {
+func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs, windows int, jsonOut bool) error {
 	if shards <= 0 {
 		shards = 1
 	}
 	// The front-end x policy table: one independent cluster per cell,
 	// fanned out on the study pool (each cell spawns its own per-shard
 	// goroutines inside its slot).
+	// The flight recorder rides on the table cells only; the scaling
+	// sweep repeats the same scenario at growing shard counts, so its
+	// windows would only duplicate the table's series.
 	var cfgs []workload.ClusterConfig
 	for fe := cluster.FrontEnd(0); fe < cluster.NumFrontEnds; fe++ {
 		for _, p := range servePolicies(beMode) {
 			cfgs = append(cfgs, workload.ClusterConfig{
 				ServeConfig: workload.ServeConfig{
 					Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode,
-					Backend: beMode, SoftCPUs: softCPUs,
+					Backend: beMode, SoftCPUs: softCPUs, Windows: windows,
 				},
 				Shards:   shards,
 				FrontEnd: fe,
@@ -594,6 +650,73 @@ func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.S
 	w.Flush()
 	fmt.Println("Per (seed, shards, front end, policy) the table is byte-identical across runs;")
 	fmt.Println("a 1-shard cluster reproduces `duetsim serve` exactly.")
+	if windows > 0 {
+		fmt.Println("\nFlight recorder (worst windows per table cell):")
+		for _, r := range table {
+			printWindowSummary(fmt.Sprintf("%v/%v", r.FrontEnd, r.Policy), r.Windows)
+		}
+	}
+	return nil
+}
+
+// printWindowSummary prints one labeled Summarize line for a recorded
+// window series — the text-mode face of the flight recorder.
+func printWindowSummary(label string, rows []telemetry.WindowRow) {
+	s := telemetry.Summarize(rows)
+	if s.Windows == 0 {
+		fmt.Printf("  %s: no windows recorded\n", label)
+		return
+	}
+	fmt.Printf("  %s: %d windows x %v; util mean %.0f%% peak %.0f%% (w%d); peak p99 %v (w%d); peak reconfigs %d (w%d); queue max %d; rejects %d; spills %d\n",
+		label, s.Windows, s.Width, 100*s.MeanUtilization, 100*s.PeakUtilization, s.PeakUtilWindow,
+		s.PeakP99, s.PeakP99Window, s.PeakReprograms, s.PeakReprogramsWin, s.QueueMax, s.Rejects, s.Spills)
+}
+
+// reportCmd loads a saved window series — a full -json study document, a
+// bare series array, or report's own CSV — and prints each found series
+// as a per-window table with a worst-window summary. -csv re-emits the
+// series (exactly one must be present) in the stable CSV column order.
+func reportCmd(inPath string, csvOut bool) error {
+	var data []byte
+	var err error
+	if inPath == "" {
+		if data, err = io.ReadAll(os.Stdin); err != nil {
+			return fmt.Errorf("reading stdin: %w", err)
+		}
+	} else if data, err = os.ReadFile(inPath); err != nil {
+		return err
+	}
+	found, err := telemetry.LoadSeries(data)
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		if len(found) != 1 {
+			paths := make([]string, len(found))
+			for i, fs := range found {
+				paths[i] = fs.Path
+			}
+			return fmt.Errorf("-csv needs exactly one series, document has %d (%s)", len(found), strings.Join(paths, ", "))
+		}
+		return telemetry.WriteCSV(os.Stdout, found[0].Rows)
+	}
+	for _, fs := range found {
+		label := fs.Path
+		if label == "" {
+			label = "series"
+		}
+		header(fmt.Sprintf("Flight recorder: %s", label))
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "Window\tStart\tArrivals\tDone\tFail\tRej\tReprog\tSpill\tQmax\tUtil\tp50\tp99")
+		for _, r := range fs.Rows {
+			fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f%%\t%v\t%v\n",
+				r.Window, r.Start, r.Arrivals, r.Completions, r.Failures, r.Rejects,
+				r.Reprograms, r.Spills, r.QueueMax, 100*r.Utilization, r.P50, r.P99)
+		}
+		w.Flush()
+		fmt.Println()
+		printWindowSummary("summary", fs.Rows)
+	}
 	return nil
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"duet/internal/sched"
 	"duet/internal/sim"
+	"duet/internal/telemetry"
 )
 
 // Replica is one shard: an isolated simulated serve instance. The front
@@ -67,6 +68,12 @@ type EngineReplica struct {
 	// Stats only and never merge. Cluster shards must leave it false:
 	// Merge pools the raw samples for exact quantiles.
 	DiscardSamples bool
+
+	// Rec, when set, is the shard's windowed flight recorder: Play
+	// attaches it to the scheduler before any submission and hands it
+	// back in ShardResult.Windows. Window widths must agree across
+	// shards for the cluster-level merge (Run enforces it).
+	Rec *telemetry.Recorder
 }
 
 // Predict exposes the shard's catalog model for front-end routing.
@@ -87,6 +94,10 @@ func (r *EngineReplica) Workers() int { return r.Sch.Workers() }
 // offers.
 func (r *EngineReplica) Play(stream []Arrival, mine []int32) (ShardResult, error) {
 	var sr ShardResult
+	if r.Rec != nil {
+		r.Sch.SetObserver(r.Rec)
+		sr.Windows = r.Rec
+	}
 	if !r.DiscardSamples && r.Sch.Config().Stats != sched.StatsStreaming {
 		r.Sch.OnResult = func(j *sched.Job) {
 			if j.Err != nil {
@@ -176,6 +187,13 @@ type ShardResult struct {
 	// merged means are computed from totals rather than re-divided
 	// per-shard means.
 	WaitSum, ServiceSum sim.Time
+
+	// Windows is the shard's windowed flight recorder, populated when
+	// the replica was built with one (EngineReplica.Rec, or the model
+	// replica's SetRecorder). Per-shard window series are keyed by the
+	// shared simulated timeline, so Run merges them exactly into
+	// Result.Windows. Nil when telemetry was off.
+	Windows *telemetry.Recorder
 }
 
 // Result is the outcome of one cluster run.
@@ -185,6 +203,12 @@ type Result struct {
 	Offered  int
 	Merged   sched.Stats
 	PerShard []ShardResult
+
+	// Windows is the cluster-wide flight-recorder merge: per-shard
+	// window series combined index for index in shard order (counters
+	// add, busy columns concatenate, digests merge). Nil when no shard
+	// recorded telemetry.
+	Windows *telemetry.Recorder
 }
 
 // Run plays the arrival stream through a sharded serve farm: it builds
@@ -266,5 +290,13 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 		PerShard: results,
 	}
 	res.Merged = Merge(results)
+	recs := make([]*telemetry.Recorder, len(results))
+	for i := range results {
+		recs[i] = results[i].Windows
+	}
+	var err error
+	if res.Windows, err = telemetry.Merge(recs...); err != nil {
+		return Result{}, fmt.Errorf("cluster: merging window series: %w", err)
+	}
 	return res, nil
 }

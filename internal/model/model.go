@@ -31,6 +31,7 @@ import (
 	"duet/internal/params"
 	"duet/internal/sched"
 	"duet/internal/sim"
+	"duet/internal/telemetry"
 )
 
 // Timeline is the scheduling surface a model backend needs: current
@@ -159,6 +160,7 @@ type Replica struct {
 	ev      *Events
 	sch     *sched.Scheduler
 	discard bool
+	rec     *telemetry.Recorder
 }
 
 // NewReplica builds an analytic replica with cfg's worker pool.
@@ -200,6 +202,12 @@ func NewReplica(cfg Config) *Replica {
 // direct submission, stats).
 func (r *Replica) Scheduler() *sched.Scheduler { return r.sch }
 
+// SetRecorder attaches a windowed flight recorder: Play installs it as
+// the scheduler's observer before any submission and hands it back in
+// ShardResult.Windows — the same wiring as cluster.EngineReplica.Rec,
+// so the cycle and model paths instrument identically.
+func (r *Replica) SetRecorder(rec *telemetry.Recorder) { r.rec = rec }
+
 // RegisterApp adds an application to the replica's catalog.
 func (r *Replica) RegisterApp(app sched.App) error { return r.sch.RegisterApp(app) }
 
@@ -218,6 +226,10 @@ func (r *Replica) Workers() int { return r.sch.Workers() }
 // own Job record in place — no per-job allocation at all.
 func (r *Replica) Play(stream []cluster.Arrival, mine []int32) (cluster.ShardResult, error) {
 	var sr cluster.ShardResult
+	if r.rec != nil {
+		r.sch.SetObserver(r.rec)
+		sr.Windows = r.rec
+	}
 	if !r.discard && r.sch.Config().Stats != sched.StatsStreaming {
 		r.sch.OnResult = func(j *sched.Job) {
 			if j.Err != nil {

@@ -120,7 +120,10 @@ func ReprogramCost(app *App, hubs int, fastPeriod sim.Time, settleCycles int64, 
 
 // Dispatch starts job j on the backend: directly when the needed
 // bitstream is resident, otherwise through the quiesce → program →
-// resume → settle flow.
+// resume → settle flow. j.Reprogrammed must be set before Dispatch
+// returns — not inside the scheduled event chain — because the
+// scheduler's dispatch observer reads it at the dispatch instant (every
+// Backend honors this; internal/model mirrors it).
 func (b *CycleBackend) Dispatch(j *Job, app *App) {
 	if b.Resident() == j.App {
 		b.serve(j, app)

@@ -116,6 +116,70 @@ func TestDigestSmallValuesExact(t *testing.T) {
 	}
 }
 
+// TestDigestSingleSample: with one sample every percentile names that
+// sample — exactly in the unit region, within the documented relative
+// bound above it (rank clamping must not underflow at p=0).
+func TestDigestSingleSample(t *testing.T) {
+	for _, v := range []sim.Time{0, 1, 127, 128, 1_000_000} {
+		var d Digest
+		d.Add(v)
+		for _, p := range []float64{0, 1, 50, 99, 100} {
+			got := d.Quantile(p)
+			if got < v {
+				t.Fatalf("sample %v p%v = %v, below the sample", v, p, got)
+			}
+			if bound := v + sim.Time(float64(v)*DigestRelError) + 1; got > bound {
+				t.Fatalf("sample %v p%v = %v, beyond the %.2f%% bound", v, p, got, 100*DigestRelError)
+			}
+			if v < digestSubCount && got != v {
+				t.Fatalf("sample %v (exact region) p%v = %v", v, p, got)
+			}
+		}
+	}
+}
+
+// TestDigestMergeDisjointRanges: merging digests whose samples occupy
+// disjoint value ranges must place low quantiles in the low range and
+// high quantiles in the high range with exact rank accounting — the
+// shape of a cluster merge where one shard is saturated and another
+// idle.
+func TestDigestMergeDisjointRanges(t *testing.T) {
+	var low, high Digest
+	for i := 0; i < 90; i++ {
+		low.Add(sim.Time(i)) // exact region: 0..89
+	}
+	for i := 0; i < 10; i++ {
+		high.Add(sim.Time(10_000_000 + i*1000)) // a far-away tail
+	}
+	var merged Digest
+	merged.Merge(&low)
+	merged.Merge(&high)
+	if merged.Count() != 100 {
+		t.Fatalf("merged count = %d", merged.Count())
+	}
+	// Ranks 1..90 are the low range; nearest-rank p50 is rank 50 = 49.
+	if got := merged.Quantile(50); got != 49 {
+		t.Fatalf("p50 = %v, want 49", got)
+	}
+	if got := merged.Quantile(90); got != 89 {
+		t.Fatalf("p90 = %v, want 89 (the top of the low range)", got)
+	}
+	// Rank 91+ crosses into the tail: p91 and p99 must land there.
+	for _, p := range []float64{91, 99, 100} {
+		if got := merged.Quantile(p); got < 10_000_000 {
+			t.Fatalf("p%v = %v, want the high range", p, got)
+		}
+	}
+	// The gap between the ranges contains no mass: no quantile may
+	// fabricate a value strictly between the two clusters.
+	for p := 1.0; p <= 100; p++ {
+		got := merged.Quantile(p)
+		if got > 89 && got < 10_000_000 {
+			t.Fatalf("p%v = %v, inside the empty gap", p, got)
+		}
+	}
+}
+
 func TestDigestEmpty(t *testing.T) {
 	var d Digest
 	if d.Quantile(50) != 0 || d.Count() != 0 {

@@ -1,0 +1,75 @@
+package sched
+
+import "duet/internal/sim"
+
+// Observer receives the scheduler's lifecycle events — the seam the
+// windowed flight recorder (internal/telemetry) hangs off. The hooks
+// fire from the shared Scheduler code paths, below the Backend seam, so
+// every execution backend (cycle-level adapter, analytic model, CPU soft
+// path) is instrumented identically: a cycle-backed and a model-backed
+// run of the same stream produce the same observation sequence.
+//
+// All hooks fire synchronously at the scheduler's current simulated
+// instant; an unset observer costs one nil check per event. Observers
+// are scoped to one scheduler and are never called concurrently (a
+// scheduler runs on one timeline).
+type Observer interface {
+	// ObserveArrival fires once per Submit offer — admitted, rejected,
+	// or failed at submit — before any dispatch the offer triggers.
+	// queueDepth is the admission-queue depth including the offered job
+	// when it was admitted: the queue's high-water point.
+	ObserveArrival(at sim.Time, queueDepth int)
+	// ObserveReject fires when an offer bounced off the full admission
+	// queue (after its ObserveArrival).
+	ObserveReject(at sim.Time)
+	// ObserveDispatch fires at each job's dispatch instant. kind is the
+	// chosen worker's backend class (a BackendCPU placement is a
+	// soft-path spill); reprogrammed reports whether the placement
+	// triggered a reconfiguration, which backends flag synchronously
+	// during Dispatch (see CycleBackend.Dispatch).
+	ObserveDispatch(at sim.Time, worker int, kind BackendKind, reprogrammed bool)
+	// ObserveRetire fires at each job's finish instant, once per
+	// completed or failed job (j.Err distinguishes; jobs bounced by the
+	// admission queue never started and are not retired).
+	ObserveRetire(j *Job)
+	// ObserveBusy reports one worker occupancy interval [from, to),
+	// fired at the release instant to. Zero-length intervals (a job
+	// failing at its dispatch instant) are not reported.
+	ObserveBusy(worker int, from, to sim.Time)
+}
+
+// SetObserver attaches an observer to the scheduler (nil detaches). Set
+// it before the first Submit: events before attachment are simply not
+// observed.
+func (s *Scheduler) SetObserver(o Observer) { s.obs = o }
+
+// WorkerKinds reports each worker's backend kind in worker-index order —
+// what an observer needs to tell fabric-class busy time from soft-path
+// busy time.
+func (s *Scheduler) WorkerKinds() []BackendKind {
+	ks := make([]BackendKind, len(s.workers))
+	for i, w := range s.workers {
+		ks[i] = w.be.Kind()
+	}
+	return ks
+}
+
+// observeArrival, observeReject and observeBusy keep the hot paths to
+// one branch when no observer is attached.
+func (s *Scheduler) observeArrival(at sim.Time, depth int) {
+	if s.obs != nil {
+		s.obs.ObserveArrival(at, depth)
+	}
+}
+
+func (s *Scheduler) observeReject(at sim.Time) {
+	if s.obs != nil {
+		s.obs.ObserveReject(at)
+	}
+}
+
+func (s *Scheduler) observeBusy(w *worker, now sim.Time) {
+	if s.obs != nil && now > w.busyAt {
+		s.obs.ObserveBusy(w.id, w.busyAt, now)
+	}
+}

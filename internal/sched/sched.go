@@ -173,6 +173,11 @@ type Scheduler struct {
 	// agg holds the streaming-mode running aggregates; nil in exact mode.
 	agg *aggregate
 
+	// obs, when set, receives lifecycle events (arrival, reject,
+	// dispatch, retire, worker-busy intervals) — the windowed-telemetry
+	// seam; see observe.go.
+	obs Observer
+
 	// OnResult, when set, is invoked at each job's finish instant — once
 	// per completed or failed job, in completion order — so a front end
 	// (e.g. internal/cluster) can harvest results without reaching into
@@ -280,6 +285,7 @@ func (s *Scheduler) Submit(j *Job) bool {
 	j.Submit = now
 	app, ok := s.apps[j.App]
 	if !ok {
+		s.observeArrival(now, len(s.queue))
 		j.Err = fmt.Errorf("sched: unknown app %q", j.App)
 		j.Finish = now // dies at submit: zero-length lifetime
 		s.retire(j)
@@ -294,16 +300,20 @@ func (s *Scheduler) Submit(j *Job) bool {
 		}
 	}
 	if !fits {
+		s.observeArrival(now, len(s.queue))
 		j.Err = fmt.Errorf("sched: bitstream %q (%+v) exceeds every worker's capacity", j.App, app.BS.Res)
 		j.Finish = now // dies at submit: zero-length lifetime
 		s.retire(j)
 		return false
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
+		s.observeArrival(now, len(s.queue))
+		s.observeReject(now)
 		s.Rejected++
 		return false
 	}
 	s.queue = append(s.queue, j)
+	s.observeArrival(now, len(s.queue))
 	s.dispatch(now)
 	return true
 }
@@ -333,6 +343,12 @@ func (s *Scheduler) place(w *worker, j *Job, now sim.Time) {
 	app := j.app
 	w.estFree = now + w.be.ReconfigCost(app) + w.be.ServiceTime(app, j.InputSize)
 	w.be.Dispatch(j, app)
+	// Backends flag a triggered reconfiguration synchronously during
+	// Dispatch, so j.Reprogrammed is settled here even though the
+	// reprogram flow itself has only just been scheduled.
+	if s.obs != nil {
+		s.obs.ObserveDispatch(now, w.id, w.be.Kind(), j.Reprogrammed)
+	}
 }
 
 // complete retires a dispatched job at its finish instant (the bound
@@ -357,6 +373,9 @@ func (s *Scheduler) complete(j *Job, err error) {
 // configured aggregation mode and notifies OnResult. Streaming mode
 // keeps no reference to the job: after OnResult returns it is garbage.
 func (s *Scheduler) retire(j *Job) {
+	if s.obs != nil {
+		s.obs.ObserveRetire(j)
+	}
 	if s.agg != nil {
 		s.agg.finish(j)
 	} else if j.Err != nil {
@@ -371,6 +390,7 @@ func (s *Scheduler) retire(j *Job) {
 
 // release returns a worker to the idle pool and re-runs dispatch.
 func (s *Scheduler) release(w *worker, now sim.Time) {
+	s.observeBusy(w, now)
 	w.busyTotal += now - w.busyAt
 	w.busy = false
 	s.dispatch(now)

@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// WindowRow is one window of the emitted series — the machine-readable
+// snapshot behind `duetsim -windows` and the `report` subcommand. Field
+// (and JSON key) order is part of the determinism contract: the CI
+// windows-determinism job diffs these bytes across study-pool widths.
+type WindowRow struct {
+	Window      int        `json:"window"`
+	Start       sim.Time   `json:"start"`
+	End         sim.Time   `json:"end"`
+	Arrivals    int        `json:"arrivals"`
+	Completions int        `json:"completions"`
+	Failures    int        `json:"failures"`
+	Rejects     int        `json:"rejects"`
+	Reprograms  int        `json:"reprograms"`
+	Spills      int        `json:"spills"`
+	QueueMax    int        `json:"queue_max"`
+	Busy        []sim.Time `json:"busy_per_worker"`
+	BusyCPU     sim.Time   `json:"busy_cpu"`
+	BusyTotal   sim.Time   `json:"busy_total"`
+	Utilization float64    `json:"utilization"`
+	P50         sim.Time   `json:"p50"`
+	P99         sim.Time   `json:"p99"`
+}
+
+// Series snapshots the recorder as one row per window, in window order
+// — every touched window, including idle ones between the first and
+// last. Utilization is total busy time over the window's whole worker
+// capacity (workers x width); BusyCPU splits out the soft-path share of
+// BusyTotal, the fabric-vs-CPU pressure signal.
+func (r *Recorder) Series() []WindowRow {
+	rows := make([]WindowRow, len(r.wins))
+	for i := range r.wins {
+		w := &r.wins[i]
+		row := WindowRow{
+			Window:      i,
+			Start:       sim.Time(i) * r.width,
+			End:         sim.Time(i+1) * r.width,
+			Arrivals:    w.arrivals,
+			Completions: w.completions,
+			Failures:    w.failures,
+			Rejects:     w.rejects,
+			Reprograms:  w.reprograms,
+			Spills:      w.spills,
+			QueueMax:    w.queueMax,
+			Busy:        make([]sim.Time, len(r.kinds)),
+			P50:         w.sojourns.Quantile(50),
+			P99:         w.sojourns.Quantile(99),
+		}
+		copy(row.Busy, w.busy)
+		for k, b := range row.Busy {
+			row.BusyTotal += b
+			if r.kinds[k] == sched.BackendCPU {
+				row.BusyCPU += b
+			}
+		}
+		if len(r.kinds) > 0 {
+			row.Utilization = float64(row.BusyTotal) / (float64(r.width) * float64(len(r.kinds)))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Summary condenses a window series to the numbers a capacity planner
+// asks for first: run-wide totals plus the worst windows — peak-window
+// p99, the worst reconfig-rate window, the utilization peak and mean,
+// and the deepest queue high-water mark.
+type Summary struct {
+	Windows int
+	Width   sim.Time
+
+	Arrivals, Completions, Failures, Rejects, Reprograms, Spills int
+	QueueMax                                                     int
+
+	MeanUtilization float64
+	PeakUtilization float64
+	PeakUtilWindow  int
+
+	PeakP99       sim.Time
+	PeakP99Window int
+
+	PeakReprograms    int
+	PeakReprogramsWin int
+}
+
+// Summarize reduces rows to a Summary. Empty input yields the zero
+// Summary. Ties go to the earliest window.
+func Summarize(rows []WindowRow) Summary {
+	var s Summary
+	if len(rows) == 0 {
+		return s
+	}
+	s.Windows = len(rows)
+	s.Width = rows[0].End - rows[0].Start
+	for _, r := range rows {
+		s.Arrivals += r.Arrivals
+		s.Completions += r.Completions
+		s.Failures += r.Failures
+		s.Rejects += r.Rejects
+		s.Reprograms += r.Reprograms
+		s.Spills += r.Spills
+		if r.QueueMax > s.QueueMax {
+			s.QueueMax = r.QueueMax
+		}
+		s.MeanUtilization += r.Utilization
+		if r.Utilization > s.PeakUtilization {
+			s.PeakUtilization = r.Utilization
+			s.PeakUtilWindow = r.Window
+		}
+		if r.P99 > s.PeakP99 {
+			s.PeakP99 = r.P99
+			s.PeakP99Window = r.Window
+		}
+		if r.Reprograms > s.PeakReprograms {
+			s.PeakReprograms = r.Reprograms
+			s.PeakReprogramsWin = r.Window
+		}
+	}
+	s.MeanUtilization /= float64(len(rows))
+	return s
+}
+
+// CSVHeader is the column order of the CSV series form. The per-worker
+// busy vector is JSON-only; CSV carries the totals.
+const CSVHeader = "window,start,end,arrivals,completions,failures,rejects,reprograms,spills,queue_max,busy_cpu,busy_total,utilization,p50,p99"
+
+// formatFloat renders a float shortest-round-trip — byte-stable for
+// equal values, the same contract encoding/json gives the JSON form.
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WriteCSV emits the series in the stable column order of CSVHeader.
+func WriteCSV(w io.Writer, rows []WindowRow) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
+			r.Window, int64(r.Start), int64(r.End), r.Arrivals, r.Completions, r.Failures,
+			r.Rejects, r.Reprograms, r.Spills, r.QueueMax, int64(r.BusyCPU), int64(r.BusyTotal),
+			formatFloat(r.Utilization), int64(r.P50), int64(r.P99))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseCSV reads a series back from its CSV form. The per-worker busy
+// vector is not present in CSV and comes back nil.
+func ParseCSV(data string) ([]WindowRow, error) {
+	lines := strings.Split(strings.TrimRight(data, "\n"), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != CSVHeader {
+		return nil, fmt.Errorf("telemetry: not a window-series CSV (want header %q)", CSVHeader)
+	}
+	rows := make([]WindowRow, 0, len(lines)-1)
+	for ln, line := range lines[1:] {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 15 {
+			return nil, fmt.Errorf("telemetry: CSV line %d has %d fields, want 15", ln+2, len(f))
+		}
+		var r WindowRow
+		var err error
+		ints := []struct {
+			dst *int
+			src string
+		}{
+			{&r.Window, f[0]}, {&r.Arrivals, f[3]}, {&r.Completions, f[4]},
+			{&r.Failures, f[5]}, {&r.Rejects, f[6]}, {&r.Reprograms, f[7]},
+			{&r.Spills, f[8]}, {&r.QueueMax, f[9]},
+		}
+		for _, c := range ints {
+			if *c.dst, err = strconv.Atoi(c.src); err != nil {
+				return nil, fmt.Errorf("telemetry: CSV line %d: %w", ln+2, err)
+			}
+		}
+		times := []struct {
+			dst *sim.Time
+			src string
+		}{
+			{&r.Start, f[1]}, {&r.End, f[2]}, {&r.BusyCPU, f[10]},
+			{&r.BusyTotal, f[11]}, {&r.P50, f[13]}, {&r.P99, f[14]},
+		}
+		for _, c := range times {
+			v, err := strconv.ParseInt(c.src, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: CSV line %d: %w", ln+2, err)
+			}
+			*c.dst = sim.Time(v)
+		}
+		if r.Utilization, err = strconv.ParseFloat(f[12], 64); err != nil {
+			return nil, fmt.Errorf("telemetry: CSV line %d: %w", ln+2, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FoundSeries is one window series located inside a loaded document,
+// labeled with the JSON path it was found at ("" for a bare series).
+type FoundSeries struct {
+	Path string
+	Rows []WindowRow
+}
+
+// LoadSeries parses a saved series in any form `duetsim` emits: a CSV
+// file (report -csv), a bare JSON array of window rows, or a full
+// `-json` study document in which every `"windows"`/`"Windows"` array —
+// at any nesting depth — is extracted, in deterministic (sorted-path)
+// order.
+func LoadSeries(data []byte) ([]FoundSeries, error) {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, CSVHeader) {
+		rows, err := ParseCSV(trimmed)
+		if err != nil {
+			return nil, err
+		}
+		return []FoundSeries{{Rows: rows}}, nil
+	}
+	if strings.HasPrefix(trimmed, "[") {
+		var rows []WindowRow
+		if err := json.Unmarshal(data, &rows); err != nil {
+			return nil, fmt.Errorf("telemetry: parsing series array: %w", err)
+		}
+		return []FoundSeries{{Rows: rows}}, nil
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("telemetry: input is neither a window-series CSV nor JSON: %w", err)
+	}
+	var found []FoundSeries
+	extractSeries(doc, "", &found)
+	if len(found) == 0 {
+		return nil, fmt.Errorf("telemetry: no \"windows\" series found in document (was the run missing -windows?)")
+	}
+	return found, nil
+}
+
+// extractSeries walks a decoded JSON document depth-first with sorted
+// map keys (map iteration order must not leak into output order) and
+// collects every "windows" key (any case — study structs emit
+// "Windows", CLI rows emit "windows") whose value round-trips into
+// []WindowRow.
+func extractSeries(v any, path string, out *[]FoundSeries) {
+	switch n := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(n))
+		for k := range n {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := path + "." + k
+			if path == "" {
+				p = k
+			}
+			if strings.EqualFold(k, "windows") {
+				if rows, ok := reparseRows(n[k]); ok {
+					*out = append(*out, FoundSeries{Path: p, Rows: rows})
+					continue
+				}
+			}
+			extractSeries(n[k], p, out)
+		}
+	case []any:
+		for i, e := range n {
+			extractSeries(e, fmt.Sprintf("%s[%d]", path, i), out)
+		}
+	}
+}
+
+// reparseRows round-trips a decoded JSON value into window rows.
+func reparseRows(v any) ([]WindowRow, bool) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, false
+	}
+	var rows []WindowRow
+	if err := json.Unmarshal(b, &rows); err != nil || len(rows) == 0 {
+		return nil, false
+	}
+	return rows, true
+}

@@ -1,0 +1,224 @@
+// Package telemetry is the simulated-time-windowed flight recorder for
+// the accelerator-as-a-service scheduler: the sensor layer that turns
+// the serve/cluster studies' end-of-run aggregates into time-resolved
+// series a production control loop (an SLO autoscaler, a capacity
+// planner) can reason over.
+//
+// A Recorder implements sched.Observer, so it hangs off the shared
+// sched.Scheduler code paths below the Backend seam — the cycle-level
+// adapter path and the analytic model path feed it identically, which
+// is what lets `duetsim xval`-style cross-validation extend to
+// per-window quantiles. Every observation is bucketed by simulated
+// time into fixed-width windows: window i covers
+// [i*Width, (i+1)*Width). Per window the recorder keeps
+//
+//   - counters: arrivals, completions, failures, queue rejects,
+//     reprograms and soft-path spills (both counted at the dispatch
+//     instant), and the admission queue's depth high-water mark;
+//   - per-worker busy time, with occupancy intervals split exactly
+//     across the window boundaries they span;
+//   - a sched.Digest over the sojourns of jobs *finishing* in the
+//     window, for per-window p50/p99 at the digest's documented
+//     relative value error.
+//
+// Memory is O(windows): the window table grows with the simulated
+// horizon, never with the job count (the digests are fixed-memory, the
+// counters are scalars). Because windows are keyed by absolute
+// simulated time and every cluster shard simulates the same global
+// timeline, per-shard window series align index for index, and Merge
+// combines them exactly — counters add, busy columns concatenate in
+// shard order, digests merge elementwise — mirroring the end-of-run
+// digest merge in cluster.Merge. The merged series is therefore as
+// deterministic as the shards themselves: byte-identical per (seed,
+// shards, front end, policy) at any study-pool width.
+package telemetry
+
+import (
+	"fmt"
+
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// Recorder is the windowed flight recorder. Create one per scheduler
+// with NewRecorder and attach it with sched.Scheduler.SetObserver
+// before the first Submit. The zero Recorder is not usable: the window
+// width must be fixed up front so shard series align.
+type Recorder struct {
+	width sim.Time
+	kinds []sched.BackendKind
+	wins  []window
+}
+
+// window is one simulated-time bucket of the recorder.
+type window struct {
+	arrivals    int
+	completions int
+	failures    int
+	rejects     int
+	reprograms  int
+	spills      int
+	queueMax    int
+	busy        []sim.Time // per worker, indexed like kinds
+	sojourns    sched.Digest
+}
+
+// NewRecorder builds a recorder over windows of the given width (must
+// be positive). kinds is the scheduler's worker-kind vector
+// (sched.Scheduler.WorkerKinds), worker-index order: it sizes the
+// per-window busy columns and tells fabric-class occupancy from
+// soft-path occupancy in the emitted series.
+func NewRecorder(width sim.Time, kinds []sched.BackendKind) *Recorder {
+	if width <= 0 {
+		panic("telemetry: window width must be positive")
+	}
+	return &Recorder{width: width, kinds: append([]sched.BackendKind(nil), kinds...)}
+}
+
+// Width reports the window width.
+func (r *Recorder) Width() sim.Time { return r.width }
+
+// Workers reports the number of per-window busy columns (the observed
+// scheduler's worker count; after Merge, the sum over shards).
+func (r *Recorder) Workers() int { return len(r.kinds) }
+
+// Windows reports the number of windows touched so far — the recorder's
+// memory scale.
+func (r *Recorder) Windows() int { return len(r.wins) }
+
+// win returns the window covering instant at, growing the dense table
+// as the simulated horizon extends.
+func (r *Recorder) win(at sim.Time) *window {
+	if at < 0 {
+		at = 0
+	}
+	i := int(int64(at) / int64(r.width))
+	if i >= len(r.wins) {
+		r.wins = append(r.wins, make([]window, i+1-len(r.wins))...)
+	}
+	w := &r.wins[i]
+	if w.busy == nil && len(r.kinds) > 0 {
+		w.busy = make([]sim.Time, len(r.kinds))
+	}
+	return w
+}
+
+var _ sched.Observer = (*Recorder)(nil)
+
+// ObserveArrival counts the offer in its submit window and advances the
+// window's queue-depth high-water mark.
+func (r *Recorder) ObserveArrival(at sim.Time, queueDepth int) {
+	w := r.win(at)
+	w.arrivals++
+	if queueDepth > w.queueMax {
+		w.queueMax = queueDepth
+	}
+}
+
+// ObserveReject counts a queue bounce in its submit window.
+func (r *Recorder) ObserveReject(at sim.Time) { r.win(at).rejects++ }
+
+// ObserveDispatch counts reprograms and soft-path spills in the
+// dispatch instant's window (the reprogram flow the dispatch schedules
+// extends past the instant; it is attributed to the window it started
+// in).
+func (r *Recorder) ObserveDispatch(at sim.Time, worker int, kind sched.BackendKind, reprogrammed bool) {
+	w := r.win(at)
+	if reprogrammed {
+		w.reprograms++
+	}
+	if kind == sched.BackendCPU {
+		w.spills++
+	}
+}
+
+// ObserveRetire counts the job in its finish window and folds its
+// sojourn into that window's digest (failures are counted but
+// contribute no sojourn sample, matching sched.Stats).
+func (r *Recorder) ObserveRetire(j *sched.Job) {
+	w := r.win(j.Finish)
+	if j.Err != nil {
+		w.failures++
+		return
+	}
+	w.completions++
+	w.sojourns.Add(j.Sojourn())
+}
+
+// ObserveBusy splits the occupancy interval [from, to) exactly across
+// the windows it spans, so per-window utilization is an integral, not a
+// sample.
+func (r *Recorder) ObserveBusy(worker int, from, to sim.Time) {
+	if from < 0 {
+		from = 0
+	}
+	for from < to {
+		w := r.win(from)
+		end := (from/r.width + 1) * r.width
+		if end > to {
+			end = to
+		}
+		w.busy[worker] += end - from
+		from = end
+	}
+}
+
+// Merge combines per-shard recorders into one fresh cluster-wide
+// recorder; nil inputs are skipped and a nil result means no input
+// carried telemetry. Window i of the result is the exact combination of
+// every input's window i: counters add, queue high-water marks take the
+// maximum (per-shard queues are independent; the mark reports the worst
+// single queue), busy columns concatenate in input order (shard 0's
+// workers first), and sojourn digests merge elementwise — so the merged
+// series equals what one recorder observing every shard would have
+// recorded, up to the queue-mark convention. All inputs must share one
+// window width; the inputs are not modified.
+func Merge(rs ...*Recorder) (*Recorder, error) {
+	var live []*Recorder
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return nil, nil
+	}
+	width := live[0].width
+	var kinds []sched.BackendKind
+	maxWins := 0
+	for _, r := range live {
+		if r.width != width {
+			return nil, fmt.Errorf("telemetry: window width mismatch (%v vs %v)", r.width, width)
+		}
+		kinds = append(kinds, r.kinds...)
+		if len(r.wins) > maxWins {
+			maxWins = len(r.wins)
+		}
+	}
+	m := NewRecorder(width, kinds)
+	m.wins = make([]window, maxWins)
+	off := 0
+	for _, r := range live {
+		for i := range r.wins {
+			src, dst := &r.wins[i], &m.wins[i]
+			dst.arrivals += src.arrivals
+			dst.completions += src.completions
+			dst.failures += src.failures
+			dst.rejects += src.rejects
+			dst.reprograms += src.reprograms
+			dst.spills += src.spills
+			if src.queueMax > dst.queueMax {
+				dst.queueMax = src.queueMax
+			}
+			if src.busy != nil {
+				if dst.busy == nil {
+					dst.busy = make([]sim.Time, len(kinds))
+				}
+				copy(dst.busy[off:off+len(r.kinds)], src.busy)
+			}
+			dst.sojourns.Merge(&src.sojourns)
+		}
+		off += len(r.kinds)
+	}
+	return m, nil
+}

@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+func kinds(ks ...sched.BackendKind) []sched.BackendKind { return ks }
+
+func TestNewRecorderRejectsBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecorder(0) did not panic")
+		}
+	}()
+	NewRecorder(0, nil)
+}
+
+// TestRecorderWindowing: observations must land in the window covering
+// their simulated instant, and the dense table must cover every window
+// up to the latest touched one.
+func TestRecorderWindowing(t *testing.T) {
+	r := NewRecorder(100, kinds(sched.BackendCycle))
+	r.ObserveArrival(0, 3)
+	r.ObserveArrival(99, 5)  // same window, deeper queue
+	r.ObserveArrival(100, 1) // next window starts exactly at the edge
+	r.ObserveReject(250)
+	r.ObserveDispatch(310, 0, sched.BackendCycle, true)
+	r.ObserveDispatch(310, 0, sched.BackendCPU, false)
+	r.ObserveRetire(&sched.Job{Submit: 330, Finish: 450}) // sojourn 120: inside the digest's exact region
+	if got := r.Windows(); got != 5 {
+		t.Fatalf("Windows() = %d, want 5", got)
+	}
+	rows := r.Series()
+	if rows[0].Arrivals != 2 || rows[0].QueueMax != 5 {
+		t.Fatalf("window 0 = %+v, want 2 arrivals, queue max 5", rows[0])
+	}
+	if rows[1].Arrivals != 1 {
+		t.Fatalf("window 1 arrivals = %d, want 1", rows[1].Arrivals)
+	}
+	if rows[2].Rejects != 1 {
+		t.Fatalf("window 2 rejects = %d, want 1", rows[2].Rejects)
+	}
+	if rows[3].Reprograms != 1 || rows[3].Spills != 1 {
+		t.Fatalf("window 3 = %+v, want 1 reprogram, 1 spill", rows[3])
+	}
+	if rows[4].Completions != 1 || rows[4].P50 != 120 {
+		t.Fatalf("window 4 = %+v, want 1 completion, p50 120", rows[4])
+	}
+	for i, row := range rows {
+		if row.Window != i || row.Start != sim.Time(i)*100 || row.End != sim.Time(i+1)*100 {
+			t.Fatalf("row %d has span [%v, %v)", i, row.Start, row.End)
+		}
+	}
+}
+
+// TestRecorderBusySplit: an occupancy interval spanning window edges
+// must be split exactly — per-window busy sums to the interval length
+// and no window's share exceeds its width.
+func TestRecorderBusySplit(t *testing.T) {
+	r := NewRecorder(100, kinds(sched.BackendCycle, sched.BackendCPU))
+	r.ObserveBusy(0, 50, 320) // 50 in w0, 100 in w1, 100 in w2, 20 in w3
+	r.ObserveBusy(1, 0, 100)  // exactly w0
+	rows := r.Series()
+	want := [][]sim.Time{{50, 100}, {100, 0}, {100, 0}, {20, 0}}
+	for i, w := range want {
+		if !reflect.DeepEqual(rows[i].Busy, w) {
+			t.Fatalf("window %d busy = %v, want %v", i, rows[i].Busy, w)
+		}
+	}
+	if rows[0].BusyCPU != 100 {
+		t.Fatalf("window 0 busy_cpu = %v, want 100 (worker 1 is the CPU)", rows[0].BusyCPU)
+	}
+	var total sim.Time
+	for _, row := range rows {
+		total += row.BusyTotal
+	}
+	if total != 270+100 {
+		t.Fatalf("total busy %v, want 370", total)
+	}
+	// Utilization: window 1 has one of two workers fully busy.
+	if rows[1].Utilization != 0.5 {
+		t.Fatalf("window 1 utilization = %v, want 0.5", rows[1].Utilization)
+	}
+}
+
+// TestRecorderMerge: merging shard recorders must add counters, take
+// the queue high-water max, concatenate busy columns in shard order and
+// merge the digests — and must not mutate its inputs.
+func TestRecorderMerge(t *testing.T) {
+	a := NewRecorder(100, kinds(sched.BackendCycle))
+	b := NewRecorder(100, kinds(sched.BackendCycle, sched.BackendCPU))
+	a.ObserveArrival(10, 4)
+	a.ObserveBusy(0, 0, 60)
+	a.ObserveRetire(&sched.Job{Submit: 0, Finish: 80})
+	b.ObserveArrival(20, 2)
+	b.ObserveBusy(1, 50, 150)
+	b.ObserveRetire(&sched.Job{Submit: 20, Finish: 180})
+	aRows, bRows := a.Series(), b.Series()
+
+	m, err := Merge(a, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers() != 3 {
+		t.Fatalf("merged workers = %d, want 3", m.Workers())
+	}
+	rows := m.Series()
+	if rows[0].Arrivals != 2 || rows[0].QueueMax != 4 || rows[0].Completions != 1 {
+		t.Fatalf("merged window 0 = %+v", rows[0])
+	}
+	if want := []sim.Time{60, 0, 50}; !reflect.DeepEqual(rows[0].Busy, want) {
+		t.Fatalf("merged window 0 busy = %v, want %v", rows[0].Busy, want)
+	}
+	if rows[1].Completions != 1 || rows[1].P50 != 160 {
+		t.Fatalf("merged window 1 = %+v, want b's completion (sojourn 160)", rows[1])
+	}
+	// Inputs untouched.
+	if !reflect.DeepEqual(a.Series(), aRows) || !reflect.DeepEqual(b.Series(), bRows) {
+		t.Fatal("Merge mutated an input recorder")
+	}
+
+	if _, err := Merge(a, NewRecorder(50, nil)); err == nil {
+		t.Fatal("width mismatch not rejected")
+	}
+	if m, err := Merge(nil, nil); m != nil || err != nil {
+		t.Fatalf("all-nil merge = (%v, %v), want (nil, nil)", m, err)
+	}
+}
+
+// TestMergeEqualsUnshardedRecorder: a recorder observing a whole stream
+// must equal the merge of recorders observing any split of it (modulo
+// the busy-column concatenation, exercised here with one worker per
+// shard mapped onto distinct columns).
+func TestMergeEqualsUnshardedRecorder(t *testing.T) {
+	whole := NewRecorder(1000, kinds(sched.BackendCycle, sched.BackendCycle))
+	s0 := NewRecorder(1000, kinds(sched.BackendCycle))
+	s1 := NewRecorder(1000, kinds(sched.BackendCycle))
+	shards := []*Recorder{s0, s1}
+	for i := 0; i < 500; i++ {
+		at := sim.Time(i * 37 % 10000)
+		s := shards[i%2]
+		whole.ObserveArrival(at, i%7)
+		s.ObserveArrival(at, i%7)
+		whole.ObserveBusy(i%2, at, at+29)
+		s.ObserveBusy(0, at, at+29)
+		j := &sched.Job{Submit: at, Finish: at + sim.Time(100+i)}
+		whole.ObserveRetire(j)
+		s.ObserveRetire(j)
+	}
+	m, err := Merge(s0, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, wr := m.Series(), whole.Series()
+	if len(mr) != len(wr) {
+		t.Fatalf("merged %d windows, whole %d", len(mr), len(wr))
+	}
+	for i := range mr {
+		got, want := mr[i], wr[i]
+		// Busy columns are permuted (shard concatenation vs round-robin
+		// worker choice); compare the totals and everything else.
+		got.Busy, want.Busy = nil, nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window %d: merged %+v != whole %+v", i, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	rows := []WindowRow{
+		{Window: 0, Start: 0, End: 100, Arrivals: 5, Rejects: 1, QueueMax: 3, Utilization: 0.5, P99: 40, Reprograms: 2},
+		{Window: 1, Start: 100, End: 200, Arrivals: 3, Completions: 6, QueueMax: 9, Utilization: 0.9, P99: 70, Reprograms: 2},
+		{Window: 2, Start: 200, End: 300, Spills: 4, Utilization: 0.1, P99: 70},
+	}
+	s := Summarize(rows)
+	if s.Windows != 3 || s.Width != 100 || s.Arrivals != 8 || s.Completions != 6 ||
+		s.Rejects != 1 || s.Spills != 4 || s.QueueMax != 9 {
+		t.Fatalf("summary totals = %+v", s)
+	}
+	if s.PeakUtilization != 0.9 || s.PeakUtilWindow != 1 {
+		t.Fatalf("peak util = %v (w%d)", s.PeakUtilization, s.PeakUtilWindow)
+	}
+	if s.PeakP99 != 70 || s.PeakP99Window != 1 { // tie goes to the earliest window
+		t.Fatalf("peak p99 = %v (w%d), want 70 (w1)", s.PeakP99, s.PeakP99Window)
+	}
+	if s.PeakReprograms != 2 || s.PeakReprogramsWin != 0 {
+		t.Fatalf("peak reprograms = %d (w%d), want 2 (w0)", s.PeakReprograms, s.PeakReprogramsWin)
+	}
+}
+
+// TestCSVRoundTrip: WriteCSV then ParseCSV must reproduce the rows
+// (minus the JSON-only per-worker busy vector).
+func TestCSVRoundTrip(t *testing.T) {
+	r := NewRecorder(100, kinds(sched.BackendCycle, sched.BackendCPU))
+	r.ObserveArrival(10, 2)
+	r.ObserveBusy(0, 0, 150)
+	r.ObserveBusy(1, 40, 90)
+	r.ObserveRetire(&sched.Job{Submit: 10, Finish: 130})
+	rows := r.Series()
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		rows[i].Busy = nil
+	}
+	if !reflect.DeepEqual(back, rows) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", back, rows)
+	}
+	if _, err := ParseCSV("not,a,series\n"); err == nil {
+		t.Fatal("bogus CSV parsed")
+	}
+}
+
+// TestLoadSeries: the loader must sniff all three on-disk forms and pull
+// every windows array out of a nested -json document in sorted-path
+// order, under both key spellings.
+func TestLoadSeries(t *testing.T) {
+	rows := []WindowRow{{Window: 0, End: 100, Arrivals: 2, Busy: []sim.Time{30}}}
+	asJSON, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, form := range []string{sb.String(), string(asJSON)} {
+		found, err := LoadSeries([]byte(form))
+		if err != nil {
+			t.Fatalf("load %q form: %v", form[:10], err)
+		}
+		if len(found) != 1 || found[0].Path != "" || len(found[0].Rows) != 1 {
+			t.Fatalf("load %q form: found %+v", form[:10], found)
+		}
+	}
+
+	doc := []byte(`{
+		"serve": [ {"Policy": "fifo", "Windows": ` + string(asJSON) + `} ],
+		"cluster": [ {"windows": ` + string(asJSON) + `}, {"windows": ` + string(asJSON) + `} ]
+	}`)
+	found, err := LoadSeries(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(found))
+	for i, fs := range found {
+		paths[i] = fs.Path
+		if len(fs.Rows) != 1 || fs.Rows[0].Arrivals != 2 {
+			t.Fatalf("series %s rows = %+v", fs.Path, fs.Rows)
+		}
+	}
+	want := []string{"cluster[0].windows", "cluster[1].windows", "serve[0].Windows"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+
+	if _, err := LoadSeries([]byte(`{"no": "series"}`)); err == nil {
+		t.Fatal("document without windows arrays loaded")
+	}
+	if _, err := LoadSeries([]byte(`!garbage`)); err == nil {
+		t.Fatal("garbage loaded")
+	}
+}

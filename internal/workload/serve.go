@@ -13,6 +13,7 @@ import (
 	"duet/internal/sched"
 	"duet/internal/sim"
 	"duet/internal/study"
+	"duet/internal/telemetry"
 )
 
 // This file implements the accelerator-as-a-service study behind
@@ -90,6 +91,16 @@ type ServeConfig struct {
 	// CPUSlowdown calibrates the soft path (defaults to
 	// model.DefaultCPUSlowdown, the paper's Fig. 12 geomean speedup).
 	CPUSlowdown float64
+
+	// Windows, when positive, turns on the windowed flight recorder:
+	// the arrival stream's span is divided into Windows fixed-width
+	// simulated-time buckets and every replica records per-window
+	// telemetry (internal/telemetry). Completions landing after the
+	// last arrival extend the series a few windows past Windows. The
+	// width is a pure function of (seed, jobs, mean gap, Windows), so
+	// shard series align and the recorded series inherits the study's
+	// determinism contract. 0 disables telemetry.
+	Windows int
 }
 
 // ServeResult is the outcome of one serve run.
@@ -98,6 +109,10 @@ type ServeResult struct {
 	Backend BackendMode
 	Offered int
 	sched.Stats
+
+	// Windows is the flight-recorder series (nil unless
+	// ServeConfig.Windows > 0).
+	Windows []telemetry.WindowRow `json:"Windows,omitempty"`
 }
 
 // serveStub is the inert fabric-side model behind each catalog bitstream:
@@ -165,8 +180,10 @@ func registerServeApps(sch *sched.Scheduler) error {
 // selects RunChecked (coherence validation) for engine-backed replicas;
 // harvest keeps the exact-mode per-job samples (cluster shards need
 // them for exact merged quantiles; single-replica Serve reads Stats
-// only and skips the duplicate O(jobs) copy).
-func newServeReplica(cfg ServeConfig, checked, harvest bool) (cluster.Replica, error) {
+// only and skips the duplicate O(jobs) copy). windowWidth, when
+// positive, attaches a flight recorder over windows of that width —
+// every shard of one run must get the same width so its series merge.
+func newServeReplica(cfg ServeConfig, checked, harvest bool, windowWidth sim.Time) (cluster.Replica, error) {
 	if cfg.Backend == BackendModel {
 		rep := model.NewReplica(model.Config{
 			EFPGAs: cfg.EFPGAs, SoftCPUs: cfg.SoftCPUs, MemHubs: cfg.MemHubs,
@@ -175,6 +192,9 @@ func newServeReplica(cfg ServeConfig, checked, harvest bool) (cluster.Replica, e
 		})
 		if err := registerServeApps(rep.Scheduler()); err != nil {
 			return nil, err
+		}
+		if windowWidth > 0 {
+			rep.SetRecorder(telemetry.NewRecorder(windowWidth, rep.Scheduler().WorkerKinds()))
 		}
 		return rep, nil
 	}
@@ -203,7 +223,29 @@ func newServeReplica(cfg ServeConfig, checked, harvest bool) (cluster.Replica, e
 			return err
 		}
 	}
-	return &cluster.EngineReplica{Eng: sys.Eng, Sch: sch, Run: run, DiscardSamples: !harvest}, nil
+	rep := &cluster.EngineReplica{Eng: sys.Eng, Sch: sch, Run: run, DiscardSamples: !harvest}
+	if windowWidth > 0 {
+		rep.Rec = telemetry.NewRecorder(windowWidth, sch.WorkerKinds())
+	}
+	return rep, nil
+}
+
+// windowWidth derives the flight recorder's window width from the
+// arrival stream: the smallest width at which n windows cover every
+// arrival instant (ceil((lastArrival+1)/n)). The stream is a pure
+// function of the serve config, so the width — and with it the window
+// keying of every shard — is too. Zero (telemetry off) when n <= 0 or
+// the stream is empty.
+func windowWidth(stream []cluster.Arrival, n int) sim.Time {
+	if n <= 0 || len(stream) == 0 {
+		return 0
+	}
+	last := stream[len(stream)-1].At // arrivals are generated in ascending order
+	w := (int64(last) + int64(n)) / int64(n)
+	if w < 1 {
+		w = 1
+	}
+	return sim.Time(w)
 }
 
 // Arrivals generates cfg's open-loop arrival stream (defaults applied) —
@@ -239,15 +281,20 @@ func serveArrivals(cfg ServeConfig) []cluster.Arrival {
 // reports its statistics.
 func Serve(cfg ServeConfig) ServeResult {
 	cfg = cfg.withDefaults()
-	rep, err := newServeReplica(cfg, false, false)
+	stream := serveArrivals(cfg)
+	rep, err := newServeReplica(cfg, false, false, windowWidth(stream, cfg.Windows))
 	if err != nil {
 		panic(err)
 	}
-	sr, err := rep.Play(serveArrivals(cfg), nil)
+	sr, err := rep.Play(stream, nil)
 	if err != nil {
 		panic(err)
 	}
-	return ServeResult{Policy: cfg.Policy, Backend: cfg.Backend, Offered: cfg.Jobs, Stats: sr.Stats}
+	res := ServeResult{Policy: cfg.Policy, Backend: cfg.Backend, Offered: cfg.Jobs, Stats: sr.Stats}
+	if sr.Windows != nil {
+		res.Windows = sr.Windows.Series()
+	}
+	return res
 }
 
 // ServeStudy runs one Serve per config on a parallel-wide study pool

@@ -6,6 +6,7 @@ import (
 	"duet/internal/cluster"
 	"duet/internal/sched"
 	"duet/internal/study"
+	"duet/internal/telemetry"
 )
 
 // This file implements the sharded study behind `duetsim cluster`: the
@@ -58,6 +59,11 @@ type ClusterResult struct {
 	Offered  int
 	Merged   sched.Stats // exact-quantile merge across shards
 	PerShard []cluster.ShardResult
+
+	// Windows is the cluster-wide flight-recorder series (nil unless
+	// ServeConfig.Windows > 0): per-shard recorders merged exactly in
+	// shard order, then snapshotted one row per window.
+	Windows []telemetry.WindowRow `json:"Windows,omitempty"`
 }
 
 // shardConfig resolves shard i's ServeConfig under cfg's specs.
@@ -98,6 +104,9 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 	if len(cfg.ShardSpecs) != 0 && len(cfg.ShardSpecs) != cfg.Shards {
 		return ClusterResult{}, fmt.Errorf("workload: %d shard specs for %d shards", len(cfg.ShardSpecs), cfg.Shards)
 	}
+	// One width for every shard, derived from the shared stream, so the
+	// per-shard window series align index for index in the merge.
+	width := windowWidth(stream, cfg.Windows)
 	res, err := cluster.Run(cluster.Config{
 		Shards:   cfg.Shards,
 		FrontEnd: cfg.FrontEnd,
@@ -106,13 +115,13 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 		// pre-generated, accelerators are inert stubs), so the derived
 		// per-shard seed is accepted but unused.
 		NewReplica: func(shard int, seed int64) (cluster.Replica, error) {
-			return newServeReplica(cfg.shardConfig(shard), true, true)
+			return newServeReplica(cfg.shardConfig(shard), true, true, width)
 		},
 	}, stream)
 	if err != nil {
 		return ClusterResult{}, err
 	}
-	return ClusterResult{
+	cr := ClusterResult{
 		Policy:   cfg.Policy,
 		Backend:  cfg.Backend,
 		FrontEnd: res.FrontEnd,
@@ -120,7 +129,11 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 		Offered:  res.Offered,
 		Merged:   res.Merged,
 		PerShard: res.PerShard,
-	}, nil
+	}
+	if res.Windows != nil {
+		cr.Windows = res.Windows.Series()
+	}
+	return cr, nil
 }
 
 // ClusterStudy runs one ServeCluster per config on a parallel-wide study

@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench.sh — run the committed benchmark set and snapshot or gate it.
+#
+#   scripts/bench.sh         # refresh BENCH_duetsim.json from a fresh run
+#   scripts/bench.sh check   # fail if the fresh run regresses >30% ns/op
+#
+# The set covers the two layers PERF.md tracks: the sim-kernel hot path
+# (engine scheduling, clock ticks, same-instant bursts, thread wakeups)
+# and the 1M-job serve studies on both execution backends. -benchtime 1x
+# on the serve benches: one deterministic 1M-job run is the measurement,
+# iterating it would only multiply CI time.
+set -eu
+cd "$(dirname "$0")/.."
+
+run_benches() {
+    go test -run '^$' -bench 'BenchmarkEngineSchedule$|BenchmarkEngineClockTicks$|BenchmarkEngineSameInstantBurst$|BenchmarkThreadPingPong$' -benchtime 200000x ./internal/sim
+    go test -run '^$' -bench 'BenchmarkServeModel1M$|BenchmarkServeStream1M$' -benchtime 1x .
+}
+
+case "${1:-snapshot}" in
+snapshot)
+    run_benches | go run ./cmd/benchsnap -out BENCH_duetsim.json
+    ;;
+check)
+    run_benches | go run ./cmd/benchsnap -check BENCH_duetsim.json
+    ;;
+*)
+    echo "usage: scripts/bench.sh [snapshot|check]" >&2
+    exit 2
+    ;;
+esac
