@@ -14,6 +14,8 @@
 //	duetsim xval            # model-vs-cycle backend cross-validation gate
 //	duetsim study           # fig9+fig10+fig11+ablations in one sweep
 //	duetsim report          # summarize a saved -windows series (-in FILE)
+//	duetsim daemon          # live HTTP ingest server over the scheduler
+//	duetsim loadgen         # drive a running daemon with open/closed load
 //	duetsim all             # the paper's tables and figures above
 //
 // Every sweep (fig9, fig10, fig11, ablate, study, serve, cluster, xval)
@@ -35,6 +37,12 @@
 // per-window tables plus worst-window summaries, and `report -csv`
 // re-emits the loaded series as CSV.
 //
+// `duetsim daemon` turns the simulator into a live service: an HTTP
+// front door (POST /v1/jobs, GET /metrics) that maps wall-clock arrivals
+// onto the simulated timeline and pushes them through the real
+// scheduler; `duetsim loadgen` benchmarks it. See README for endpoints
+// and flags.
+//
 // Absolute numbers come from this repository's cycle-level models; the
 // paper's own numbers are printed alongside where published. See
 // EXPERIMENTS.md for the paper-vs-measured discussion.
@@ -46,10 +54,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"duet/internal/accel"
 	"duet/internal/apps"
@@ -79,6 +89,21 @@ func main() {
 	tolerance := flag.Float64("tolerance", workload.XValTolerance, "xval: maximum model-vs-cycle p50/p99 relative error before failing")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the executed commands to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the commands to `file`")
+	listen := flag.String("listen", ":8080", "daemon: HTTP listen address")
+	policy := flag.String("policy", "fifo", "daemon: scheduling policy (fifo|sjf|affinity|hybrid)")
+	queueCap := flag.Int("queuecap", 0, "daemon: admission-queue bound (0 = default 64)")
+	maxInflight := flag.Int("maxinflight", 0, "daemon: outstanding-job bound, 503 past it (0 = 4x queuecap)")
+	timescale := flag.Float64("timescale", 1, "daemon: simulated seconds advanced per wall-clock second")
+	windowMS := flag.Float64("windowms", 250, "daemon: telemetry window width in simulated milliseconds")
+	target := flag.String("target", "http://localhost:8080", "loadgen: daemon base URL")
+	lgMode := flag.String("mode", "closed", "loadgen: closed (lockstep workers) or open (paced arrivals)")
+	concurrency := flag.Int("concurrency", 8, "loadgen: closed-loop workers / open-loop in-flight cap")
+	rate := flag.Float64("rate", 200, "loadgen: open-loop arrival rate in requests/s")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
+	requests := flag.Int("requests", 0, "loadgen: total request cap (0 = duration-bound)")
+	appsSpec := flag.String("apps", "", "loadgen: comma-separated app mix (default: the daemon's catalog)")
+	tenantsSpec := flag.String("tenants", "", "loadgen: weighted tenant mix, e.g. alpha:3,beta:1")
+	lgTimeout := flag.Duration("timeout", 30*time.Second, "loadgen: per-request timeout")
 	flag.Parse()
 	// Accept flags after command words too (`duetsim cluster -shards 4`):
 	// re-parse whenever a flag-like token follows a command. Flags apply
@@ -120,9 +145,9 @@ func main() {
 			os.Exit(2)
 		}
 		switch cmds[0] {
-		case "fig9", "fig10", "fig11", "ablate", "ablations", "study", "serve", "cluster", "xval":
+		case "fig9", "fig10", "fig11", "ablate", "ablations", "study", "serve", "cluster", "xval", "loadgen":
 		default:
-			fmt.Fprintf(os.Stderr, "duetsim: -json is not supported with %q; use a sweep command (fig9|fig10|fig11|ablate|study|serve|cluster|xval)\n", cmds[0])
+			fmt.Fprintf(os.Stderr, "duetsim: -json is not supported with %q; use a sweep command (fig9|fig10|fig11|ablate|study|serve|cluster|xval|loadgen)\n", cmds[0])
 			os.Exit(2)
 		}
 	}
@@ -132,6 +157,13 @@ func main() {
 	// through each command.
 	closeOut := func() error { return nil }
 	if *outPath != "" {
+		// os.Create truncates -out before any command runs, so `-out F
+		// report -in F` would destroy the very file report is about to
+		// read. Refuse the overlap instead of silently emptying the input.
+		if *inPath != "" && samePath(*outPath, *inPath) {
+			fmt.Fprintf(os.Stderr, "duetsim: -out %q would truncate -in %q before report reads it; use a different output path\n", *outPath, *inPath)
+			os.Exit(2)
+		}
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "duetsim: -out: %v\n", err)
@@ -183,6 +215,26 @@ loop:
 				code = 1
 				break loop
 			}
+		case "daemon":
+			if err := daemonCmd(daemonOpts{
+				listen: *listen, backend: beMode, efpgas: *efpgas, softCPUs: *softCPUs,
+				policy: *policy, queueCap: *queueCap, maxInflight: *maxInflight,
+				timescale: *timescale, windowMS: *windowMS,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "daemon: %v\n", err)
+				code = 1
+				break loop
+			}
+		case "loadgen":
+			if err := loadgenCmd(loadgenOpts{
+				target: *target, mode: *lgMode, concurrency: *concurrency, rateHz: *rate,
+				duration: *duration, requests: *requests, apps: *appsSpec,
+				tenants: *tenantsSpec, seed: *seed, timeout: *lgTimeout, jsonOut: *jsonOut,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				code = 1
+				break loop
+			}
 		case "xval":
 			if !xval(*parallel, *seed, *jobs, *efpgas, mode, *tolerance, *jsonOut) {
 				code = 1
@@ -222,6 +274,19 @@ loop:
 	}
 }
 
+// samePath reports whether two paths name the same file: equal after
+// cleaning, or resolving (via Stat) to the same inode — so "./x" vs "x"
+// and symlinked spellings are both caught. Stat failures (e.g. the
+// output does not exist yet) fall back to the lexical comparison.
+func samePath(a, b string) bool {
+	if filepath.Clean(a) == filepath.Clean(b) {
+		return true
+	}
+	ia, errA := os.Stat(a)
+	ib, errB := os.Stat(b)
+	return errA == nil && errB == nil && os.SameFile(ia, ib)
+}
+
 // startProfiles begins CPU profiling and returns a flush function that
 // stops the CPU profile and writes the heap profile. Empty paths disable
 // the respective profile.
@@ -259,7 +324,9 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-windows N] [-out F] [-in F] [-csv] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|report|all}...")
+	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-windows N] [-out F] [-in F] [-csv] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|report|daemon|loadgen|all}...")
+	fmt.Fprintln(os.Stderr, "  daemon flags: [-listen A] [-policy P] [-queuecap N] [-maxinflight N] [-timescale F] [-windowms F] [-backend ...] [-efpgas N] [-softcpus N]")
+	fmt.Fprintln(os.Stderr, "  loadgen flags: [-target URL] [-mode closed|open] [-concurrency N] [-rate F] [-duration D] [-requests N] [-apps A,B] [-tenants a:3,b:1] [-timeout D] [-seed N] [-json]")
 }
 
 func header(title string) {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSamePath covers the -in/-out overlap guard: `-out F report -in F`
+// must be rejected before os.Create truncates the input (the historical
+// failure mode), in every spelling of "the same file".
+func TestSamePath(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "series.json")
+	if err := os.WriteFile(f, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if !samePath(f, f) {
+		t.Fatal("identical paths not detected")
+	}
+	// Different spellings of the same file.
+	dotted := filepath.Join(dir, ".", "series.json")
+	if !samePath(f, dotted) {
+		t.Fatalf("cleaned spelling %q not matched to %q", dotted, f)
+	}
+	link := filepath.Join(dir, "link.json")
+	if err := os.Symlink(f, link); err == nil {
+		if !samePath(f, link) {
+			t.Fatal("symlinked spelling not matched")
+		}
+	}
+
+	other := filepath.Join(dir, "other.json")
+	if err := os.WriteFile(other, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if samePath(f, other) {
+		t.Fatal("distinct files reported as same")
+	}
+	// A not-yet-existing output never aliases an existing input.
+	if samePath(filepath.Join(dir, "new.json"), f) {
+		t.Fatal("nonexistent output matched existing input")
+	}
+}

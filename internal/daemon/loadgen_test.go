@@ -1,0 +1,109 @@
+package daemon
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"duet/internal/workload"
+)
+
+func TestParseTenants(t *testing.T) {
+	got, err := ParseTenants("alpha:3, beta:1,gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TenantShare{{"alpha", 3}, {"beta", 1}, {"gamma", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseTenants = %+v, want %+v", got, want)
+	}
+	if got, err := ParseTenants("  "); err != nil || got != nil {
+		t.Fatalf("blank spec = %+v, %v", got, err)
+	}
+	for _, bad := range []string{":3", "a:0", "a:x", "a:-1", ","} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Fatalf("ParseTenants(%q) did not fail", bad)
+		}
+	}
+}
+
+// newLiveServer boots a wall-clock daemon with a running ticker — the
+// configuration the loadgen actually benchmarks.
+func newLiveServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := NewServer(Config{Backend: workload.BackendModel, EFPGAs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go s.RunTicker(time.Millisecond, stop)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		close(stop)
+	})
+	return ts
+}
+
+// TestLoadgenClosed: a short closed-loop run against a live daemon
+// completes jobs with no errors and reports coherent numbers.
+func TestLoadgenClosed(t *testing.T) {
+	ts := newLiveServer(t)
+	rep, err := RunLoadgen(context.Background(), LoadgenConfig{
+		Target:      ts.URL,
+		Mode:        "closed",
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Tenants:     []TenantShare{{"alpha", 3}, {"beta", 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("closed loop completed nothing: %+v", rep)
+	}
+	if rep.OtherErrors != 0 || rep.Failed != 0 {
+		t.Fatalf("closed loop hit errors: %+v", rep)
+	}
+	if rep.Completed > rep.Sent {
+		t.Fatalf("completed %d > sent %d", rep.Completed, rep.Sent)
+	}
+	if rep.WallP50 <= 0 || rep.WallP99 < rep.WallP50 {
+		t.Fatalf("incoherent latency aggregates: %+v", rep)
+	}
+}
+
+// TestLoadgenOpen: the open-loop pacer submits on its own schedule and
+// the Jobs cap stops it early.
+func TestLoadgenOpen(t *testing.T) {
+	ts := newLiveServer(t)
+	rep, err := RunLoadgen(context.Background(), LoadgenConfig{
+		Target:      ts.URL,
+		Mode:        "open",
+		Concurrency: 8,
+		RateHz:      2000,
+		Duration:    2 * time.Second,
+		Jobs:        25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 25 {
+		t.Fatalf("open loop sent %d, want the 25-job cap", rep.Sent)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("open loop completed nothing: %+v", rep)
+	}
+}
+
+// TestLoadgenRejectsBadConfig: mode and target validation fail fast.
+func TestLoadgenRejectsBadConfig(t *testing.T) {
+	if _, err := RunLoadgen(context.Background(), LoadgenConfig{Target: "http://x", Mode: "sideways"}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, err := RunLoadgen(context.Background(), LoadgenConfig{}); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}

@@ -208,6 +208,11 @@ func (r *Replica) Scheduler() *sched.Scheduler { return r.sch }
 // so the cycle and model paths instrument identically.
 func (r *Replica) SetRecorder(rec *telemetry.Recorder) { r.rec = rec }
 
+// Events exposes the replica's analytic timeline, for live feeders (the
+// daemon's clock bridge) that advance simulated time incrementally
+// instead of playing a pre-materialized stream.
+func (r *Replica) Events() *Events { return r.ev }
+
 // RegisterApp adds an application to the replica's catalog.
 func (r *Replica) RegisterApp(app sched.App) error { return r.sch.RegisterApp(app) }
 

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"duet/internal/sim"
+)
+
+// This file renders a Recorder in Prometheus text exposition format
+// (version 0.0.4) — the `/metrics` face of the flight recorder. The
+// daemon scrapes straight from its scheduler's recorder; nothing here is
+// daemon-specific, so batch studies can dump the same exposition.
+//
+// Output is deterministic: fixed metric order, worker columns in index
+// order, floats in the same shortest-round-trip form as the JSON series.
+
+// promWriter accumulates exposition lines with a sticky first error, so
+// WriteProm stays a straight-line list of metrics.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) metric(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, value string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "%s%s %s\n", name, labels, value)
+}
+
+func (p *promWriter) intSample(name, labels string, v int64) {
+	p.sample(name, labels, fmt.Sprintf("%d", v))
+}
+
+func (p *promWriter) floatSample(name, labels string, v float64) {
+	p.sample(name, labels, formatFloat(v))
+}
+
+// WriteProm writes the recorder's state as Prometheus metrics under the
+// given namespace prefix (e.g. "duetsim"): run-wide counters, per-worker
+// busy seconds, the simulated horizon, and latest-window gauges —
+// utilization of the newest window and p50/p99 sojourn of the newest
+// window that completed any job. A nil recorder writes nothing.
+func WriteProm(w io.Writer, ns string, r *Recorder) error {
+	if r == nil {
+		return nil
+	}
+	rows := r.Series()
+	s := Summarize(rows)
+	p := &promWriter{w: w}
+
+	counters := []struct {
+		name, help string
+		value      int
+	}{
+		{"arrivals_total", "Jobs offered to the scheduler.", s.Arrivals},
+		{"completions_total", "Jobs completed.", s.Completions},
+		{"failures_total", "Jobs failed (unknown app, capacity, programming error).", s.Failures},
+		{"rejects_total", "Jobs bounced by the full admission queue.", s.Rejects},
+		{"reprograms_total", "Fabric reconfigurations triggered by placement.", s.Reprograms},
+		{"spills_total", "Jobs spilled to the CPU soft path.", s.Spills},
+	}
+	for _, c := range counters {
+		name := ns + "_" + c.name
+		p.metric(name, c.help, "counter")
+		p.intSample(name, "", int64(c.value))
+	}
+
+	name := ns + "_queue_depth_max"
+	p.metric(name, "Run-wide admission-queue high-water mark.", "gauge")
+	p.intSample(name, "", int64(s.QueueMax))
+
+	name = ns + "_horizon_seconds"
+	p.metric(name, "Latest observed simulated instant.", "gauge")
+	p.floatSample(name, "", r.Horizon().Seconds())
+
+	name = ns + "_window_width_seconds"
+	p.metric(name, "Flight-recorder window width (simulated time).", "gauge")
+	p.floatSample(name, "", r.Width().Seconds())
+
+	name = ns + "_windows"
+	p.metric(name, "Flight-recorder windows recorded so far.", "gauge")
+	p.intSample(name, "", int64(len(rows)))
+
+	// Per-worker busy time, summed over every window. Worker index order
+	// is the scheduler's; kind labels fabric-class vs soft-path columns.
+	name = ns + "_worker_busy_seconds_total"
+	p.metric(name, "Cumulative worker occupancy (simulated seconds).", "counter")
+	busy := make([]sim.Time, len(r.kinds))
+	for _, row := range rows {
+		for k, b := range row.Busy {
+			busy[k] += b
+		}
+	}
+	for k, b := range busy {
+		p.floatSample(name, fmt.Sprintf("{worker=\"%d\",kind=\"%s\"}", k, r.kinds[k]), b.Seconds())
+	}
+
+	if len(rows) > 0 {
+		name = ns + "_window_utilization"
+		p.metric(name, "Worker utilization of the newest window.", "gauge")
+		p.floatSample(name, "", rows[len(rows)-1].Utilization)
+
+		// Quantiles come from the newest window with completions: the
+		// newest window is often still filling, and an empty digest would
+		// report zero latency instead of the last known service level.
+		for i := len(rows) - 1; i >= 0; i-- {
+			if rows[i].Completions == 0 {
+				continue
+			}
+			name = ns + "_window_sojourn_seconds"
+			p.metric(name, "Sojourn latency of the newest window with completions.", "gauge")
+			p.floatSample(name, "{quantile=\"0.5\"}", rows[i].P50.Seconds())
+			p.floatSample(name, "{quantile=\"0.99\"}", rows[i].P99.Seconds())
+			break
+		}
+	}
+	return p.err
+}

@@ -38,16 +38,32 @@ type WindowRow struct {
 // Series snapshots the recorder as one row per window, in window order
 // — every touched window, including idle ones between the first and
 // last. Utilization is total busy time over the window's whole worker
-// capacity (workers x width); BusyCPU splits out the soft-path share of
+// capacity (workers x span); BusyCPU splits out the soft-path share of
 // BusyTotal, the fabric-vs-CPU pressure signal.
+//
+// The final window is clamped to the run horizon: when the run ends
+// mid-window its End is the horizon, not the full window edge, and its
+// utilization denominator is the covered span — a run that keeps every
+// worker busy right up to its last completion reports 100%, not the
+// fraction of an arbitrary window width it happened to end inside.
 func (r *Recorder) Series() []WindowRow {
 	rows := make([]WindowRow, len(r.wins))
 	for i := range r.wins {
 		w := &r.wins[i]
+		end := sim.Time(i+1) * r.width
+		// Only the last window can extend past the horizon (the horizon
+		// is at least the instant that materialized the last window, so
+		// it is never below any window's start; the floor is defensive).
+		if end > r.horizon {
+			end = r.horizon
+			if start := sim.Time(i) * r.width; end < start {
+				end = start
+			}
+		}
 		row := WindowRow{
 			Window:      i,
 			Start:       sim.Time(i) * r.width,
-			End:         sim.Time(i+1) * r.width,
+			End:         end,
 			Arrivals:    w.arrivals,
 			Completions: w.completions,
 			Failures:    w.failures,
@@ -66,8 +82,8 @@ func (r *Recorder) Series() []WindowRow {
 				row.BusyCPU += b
 			}
 		}
-		if len(r.kinds) > 0 {
-			row.Utilization = float64(row.BusyTotal) / (float64(r.width) * float64(len(r.kinds)))
+		if span := end - row.Start; span > 0 && len(r.kinds) > 0 {
+			row.Utilization = float64(row.BusyTotal) / (float64(span) * float64(len(r.kinds)))
 		}
 		rows[i] = row
 	}

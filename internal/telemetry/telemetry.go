@@ -48,6 +48,19 @@ type Recorder struct {
 	width sim.Time
 	kinds []sched.BackendKind
 	wins  []window
+
+	// hasFabric records whether any observed worker is fabric-class. A
+	// BackendCPU dispatch is a soft-path *spill* only when there is a
+	// fabric to spill from; on a pure-CPU pool every placement is just
+	// normal service and must not be counted as a spill.
+	hasFabric bool
+
+	// horizon is the run's latest observed simulated instant (arrival,
+	// dispatch, retire, or busy-interval end — whichever is latest), the
+	// clamp for the final window's End and utilization denominator in
+	// Series. Live feeders extend it explicitly through ExtendHorizon so
+	// idle tail time is accounted too.
+	horizon sim.Time
 }
 
 // window is one simulated-time bucket of the recorder.
@@ -72,11 +85,45 @@ func NewRecorder(width sim.Time, kinds []sched.BackendKind) *Recorder {
 	if width <= 0 {
 		panic("telemetry: window width must be positive")
 	}
-	return &Recorder{width: width, kinds: append([]sched.BackendKind(nil), kinds...)}
+	r := &Recorder{width: width, kinds: append([]sched.BackendKind(nil), kinds...)}
+	for _, k := range r.kinds {
+		if k != sched.BackendCPU {
+			r.hasFabric = true
+		}
+	}
+	return r
 }
 
 // Width reports the window width.
 func (r *Recorder) Width() sim.Time { return r.width }
+
+// Horizon reports the run's latest observed simulated instant — the end
+// of the recorded timeline, which clamps the final window in Series.
+func (r *Recorder) Horizon() sim.Time { return r.horizon }
+
+// ExtendHorizon advances the run horizon to at, materializing the
+// window covering it, without recording any event. A live feeder (the
+// daemon's clock bridge) calls it as wall time passes so windows with no
+// activity still appear — with zero counters and zero utilization —
+// instead of the series freezing at the last event. Instants at or
+// before the current horizon are no-ops.
+func (r *Recorder) ExtendHorizon(at sim.Time) {
+	if at <= r.horizon {
+		return
+	}
+	// at is an exclusive end: the last covered instant is at-1, so a
+	// horizon landing exactly on a window boundary does not materialize
+	// an empty window beyond it.
+	r.win(at - 1)
+	r.horizon = at
+}
+
+// note advances the horizon to an observed instant.
+func (r *Recorder) note(at sim.Time) {
+	if at > r.horizon {
+		r.horizon = at
+	}
+}
 
 // Workers reports the number of per-window busy columns (the observed
 // scheduler's worker count; after Merge, the sum over shards).
@@ -109,6 +156,7 @@ var _ sched.Observer = (*Recorder)(nil)
 // window's queue-depth high-water mark.
 func (r *Recorder) ObserveArrival(at sim.Time, queueDepth int) {
 	w := r.win(at)
+	r.note(at)
 	w.arrivals++
 	if queueDepth > w.queueMax {
 		w.queueMax = queueDepth
@@ -116,18 +164,24 @@ func (r *Recorder) ObserveArrival(at sim.Time, queueDepth int) {
 }
 
 // ObserveReject counts a queue bounce in its submit window.
-func (r *Recorder) ObserveReject(at sim.Time) { r.win(at).rejects++ }
+func (r *Recorder) ObserveReject(at sim.Time) {
+	r.win(at).rejects++
+	r.note(at)
+}
 
 // ObserveDispatch counts reprograms and soft-path spills in the
 // dispatch instant's window (the reprogram flow the dispatch schedules
 // extends past the instant; it is attributed to the window it started
-// in).
+// in). A BackendCPU dispatch counts as a spill only when the observed
+// scheduler has fabric-class workers: on a pure soft-path pool there is
+// no fabric to spill from, so CPU placements are ordinary service.
 func (r *Recorder) ObserveDispatch(at sim.Time, worker int, kind sched.BackendKind, reprogrammed bool) {
 	w := r.win(at)
+	r.note(at)
 	if reprogrammed {
 		w.reprograms++
 	}
-	if kind == sched.BackendCPU {
+	if kind == sched.BackendCPU && r.hasFabric {
 		w.spills++
 	}
 }
@@ -137,6 +191,7 @@ func (r *Recorder) ObserveDispatch(at sim.Time, worker int, kind sched.BackendKi
 // contribute no sojourn sample, matching sched.Stats).
 func (r *Recorder) ObserveRetire(j *sched.Job) {
 	w := r.win(j.Finish)
+	r.note(j.Finish)
 	if j.Err != nil {
 		w.failures++
 		return
@@ -152,6 +207,7 @@ func (r *Recorder) ObserveBusy(worker int, from, to sim.Time) {
 	if from < 0 {
 		from = 0
 	}
+	r.note(to)
 	for from < to {
 		w := r.win(from)
 		end := (from/r.width + 1) * r.width
@@ -199,6 +255,11 @@ func Merge(rs ...*Recorder) (*Recorder, error) {
 	m.wins = make([]window, maxWins)
 	off := 0
 	for _, r := range live {
+		// The merged horizon is the latest shard horizon — exactly what
+		// one recorder observing every shard would have noted.
+		if r.horizon > m.horizon {
+			m.horizon = r.horizon
+		}
 		for i := range r.wins {
 			src, dst := &r.wins[i], &m.wins[i]
 			dst.arrivals += src.arrivals

@@ -53,9 +53,111 @@ func TestRecorderWindowing(t *testing.T) {
 		t.Fatalf("window 4 = %+v, want 1 completion, p50 120", rows[4])
 	}
 	for i, row := range rows {
-		if row.Window != i || row.Start != sim.Time(i)*100 || row.End != sim.Time(i+1)*100 {
-			t.Fatalf("row %d has span [%v, %v)", i, row.Start, row.End)
+		wantEnd := sim.Time(i+1) * 100
+		if i == len(rows)-1 {
+			wantEnd = 450 // the run horizon (the retire at 450) clamps the last window
 		}
+		if row.Window != i || row.Start != sim.Time(i)*100 || row.End != wantEnd {
+			t.Fatalf("row %d has span [%v, %v), want [%v, %v)", i, row.Start, row.End, sim.Time(i)*100, wantEnd)
+		}
+	}
+}
+
+// TestSeriesHorizonClamp: regression for the last-window utilization
+// bug — a run ending mid-window must report End at the horizon and
+// compute utilization over the covered span, not the full window width.
+func TestSeriesHorizonClamp(t *testing.T) {
+	r := NewRecorder(100, kinds(sched.BackendModel))
+	// One worker busy for the whole run, which ends at 250: windows 0 and
+	// 1 are fully covered, window 2 only to its midpoint.
+	r.ObserveBusy(0, 0, 250)
+	r.ObserveRetire(&sched.Job{Submit: 0, Finish: 250})
+	if got := r.Horizon(); got != 250 {
+		t.Fatalf("Horizon() = %v, want 250", got)
+	}
+	rows := r.Series()
+	if len(rows) != 3 {
+		t.Fatalf("%d windows, want 3", len(rows))
+	}
+	last := rows[2]
+	if last.Start != 200 || last.End != 250 {
+		t.Fatalf("last window spans [%v, %v), want [200, 250)", last.Start, last.End)
+	}
+	// 50 busy over a 50-wide covered span: fully utilized, not 50%.
+	if last.Utilization != 1.0 {
+		t.Fatalf("last window utilization = %v, want 1.0", last.Utilization)
+	}
+	for i := 0; i < 2; i++ {
+		if rows[i].End != sim.Time(i+1)*100 || rows[i].Utilization != 1.0 {
+			t.Fatalf("window %d = [%v, %v) util %v, want full window fully utilized",
+				i, rows[i].Start, rows[i].End, rows[i].Utilization)
+		}
+	}
+}
+
+// TestMergeHorizon: the merged recorder's horizon must be the latest
+// shard horizon, and the merged series' last window must clamp to it.
+func TestMergeHorizon(t *testing.T) {
+	a := NewRecorder(100, kinds(sched.BackendModel))
+	b := NewRecorder(100, kinds(sched.BackendModel))
+	a.ObserveRetire(&sched.Job{Submit: 0, Finish: 120})
+	b.ObserveRetire(&sched.Job{Submit: 0, Finish: 180})
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Horizon(); got != 180 {
+		t.Fatalf("merged horizon = %v, want 180", got)
+	}
+	rows := m.Series()
+	if got := rows[len(rows)-1].End; got != 180 {
+		t.Fatalf("merged last window End = %v, want 180", got)
+	}
+}
+
+// TestExtendHorizon: a live feeder extending the horizon must
+// materialize idle windows (zero counters, zero utilization) and move
+// the clamp, without recording any event.
+func TestExtendHorizon(t *testing.T) {
+	r := NewRecorder(100, kinds(sched.BackendModel))
+	r.ObserveArrival(10, 1)
+	r.ExtendHorizon(350)
+	if got := r.Horizon(); got != 350 {
+		t.Fatalf("Horizon() = %v, want 350", got)
+	}
+	rows := r.Series()
+	if len(rows) != 4 {
+		t.Fatalf("%d windows, want 4 (idle tail materialized)", len(rows))
+	}
+	for i := 1; i < 4; i++ {
+		if rows[i].Arrivals != 0 || rows[i].Utilization != 0 {
+			t.Fatalf("idle window %d = %+v", i, rows[i])
+		}
+	}
+	if rows[3].End != 350 {
+		t.Fatalf("last window End = %v, want 350", rows[3].End)
+	}
+	// Extending backwards is a no-op.
+	r.ExtendHorizon(200)
+	if got := r.Horizon(); got != 350 {
+		t.Fatalf("Horizon() after backwards extend = %v, want 350", got)
+	}
+}
+
+// TestSpillRequiresFabric: regression for the spill miscount — CPU
+// dispatches only count as spills when the observed scheduler has
+// fabric-class workers; a pure soft-path pool has nothing to spill from.
+func TestSpillRequiresFabric(t *testing.T) {
+	pure := NewRecorder(100, kinds(sched.BackendCPU, sched.BackendCPU))
+	pure.ObserveDispatch(10, 0, sched.BackendCPU, false)
+	if got := pure.Series()[0].Spills; got != 0 {
+		t.Fatalf("pure-CPU pool recorded %d spills, want 0", got)
+	}
+	mixed := NewRecorder(100, kinds(sched.BackendCycle, sched.BackendCPU))
+	mixed.ObserveDispatch(10, 1, sched.BackendCPU, false)
+	mixed.ObserveDispatch(10, 0, sched.BackendCycle, false)
+	if got := mixed.Series()[0].Spills; got != 1 {
+		t.Fatalf("mixed pool recorded %d spills, want 1", got)
 	}
 }
 

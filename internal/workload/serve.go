@@ -163,6 +163,11 @@ func (cfg ServeConfig) withDefaults() ServeConfig {
 	return cfg
 }
 
+// RegisterServeApps installs the full serve catalog on a scheduler —
+// the same apps batch serve studies run, so the daemon's live catalog
+// matches the offline one.
+func RegisterServeApps(sch *sched.Scheduler) error { return registerServeApps(sch) }
+
 // registerServeApps installs the full serve catalog on a scheduler.
 func registerServeApps(sch *sched.Scheduler) error {
 	for _, a := range ServeApps {
