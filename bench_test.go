@@ -18,6 +18,7 @@ import (
 	"duet/internal/apps"
 	"duet/internal/area"
 	"duet/internal/cluster"
+	"duet/internal/faults"
 	"duet/internal/sched"
 	"duet/internal/sim"
 	"duet/internal/workload"
@@ -332,6 +333,34 @@ func BenchmarkServeStream1M(b *testing.B) { benchServe1M(b, workload.BackendCycl
 // capacity-planning sweeps. PERF.md records the measured speedup over
 // BenchmarkServeStream1M.
 func BenchmarkServeModel1M(b *testing.B) { benchServe1M(b, workload.BackendModel) }
+
+// BenchmarkServeFaultFree is BenchmarkServeModel1M with an empty fault
+// plan wired in: the injection seam installed on every worker (wrapper
+// dispatch, scheduler fault checks) but never firing. Its snapshot
+// entry gates the seam's fault-free overhead — the wrapped hot path may
+// not regress more than the CI bench gate's 30% against the baseline
+// recorded in BENCH_duetsim.json.
+func BenchmarkServeFaultFree(b *testing.B) {
+	cfg := serveStream1MConfig(workload.BackendModel)
+	cfg.Faults = &faults.Plan{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		stream := workload.Arrivals(cfg.ServeConfig)
+		runtime.GC()
+		b.StartTimer()
+		r, err := workload.ServeClusterOver(cfg, stream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Merged.Completed != 1_000_000 {
+			b.Fatalf("completed %d of 1M", r.Merged.Completed)
+		}
+		if r.Merged.Wedges != 0 || r.Merged.TimedOut != 0 || r.Merged.Unavailable != 0 {
+			b.Fatalf("empty plan injected faults: %+v", r.Merged)
+		}
+	}
+}
 
 // BenchmarkAblation_BFSLockDiscipline compares the BFS baseline's naive
 // test-and-set lock against an MCS queue lock: the Duet speedup shrinks

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"duet/internal/daemon"
+	"duet/internal/faults"
 	"duet/internal/sched"
 	"duet/internal/sim"
 	"duet/internal/workload"
@@ -28,6 +29,13 @@ type daemonOpts struct {
 	maxInflight int
 	timescale   float64
 	windowMS    float64
+	// Fault-injection knobs (see internal/faults): a nonzero wedge
+	// probability installs a seeded fault plan below the backend seam,
+	// so a live daemon can rehearse degraded operation — /healthz flips
+	// to degraded/down and /metrics carries the fault counters.
+	wedgeProb float64
+	retries   int
+	faultSeed int64
 }
 
 // daemonCmd boots the HTTP ingest server and blocks until SIGINT/SIGTERM
@@ -38,6 +46,10 @@ func daemonCmd(o daemonOpts) error {
 	if err != nil {
 		return err
 	}
+	var plan *faults.Plan
+	if o.wedgeProb > 0 {
+		plan = &faults.Plan{Seed: o.faultSeed, WedgeProb: o.wedgeProb, MaxRetries: o.retries}
+	}
 	srv, err := daemon.NewServer(daemon.Config{
 		Backend:        o.backend,
 		EFPGAs:         o.efpgas,
@@ -47,6 +59,7 @@ func daemonCmd(o daemonOpts) error {
 		MaxOutstanding: o.maxInflight,
 		Timescale:      o.timescale,
 		WindowWidth:    sim.Time(o.windowMS * float64(sim.MS)),
+		Faults:         plan,
 	})
 	if err != nil {
 		return err

@@ -12,14 +12,15 @@
 //	duetsim serve           # multi-tenant accelerator-as-a-service study
 //	duetsim cluster         # sharded serve farm across N serve replicas
 //	duetsim xval            # model-vs-cycle backend cross-validation gate
+//	duetsim chaos           # deterministic fault-injection scenarios
 //	duetsim study           # fig9+fig10+fig11+ablations in one sweep
 //	duetsim report          # summarize a saved -windows series (-in FILE)
 //	duetsim daemon          # live HTTP ingest server over the scheduler
 //	duetsim loadgen         # drive a running daemon with open/closed load
 //	duetsim all             # the paper's tables and figures above
 //
-// Every sweep (fig9, fig10, fig11, ablate, study, serve, cluster, xval)
-// runs its grid of independent simulation points on the internal/study
+// Every sweep (fig9, fig10, fig11, ablate, study, serve, cluster, xval,
+// chaos) runs its grid of independent simulation points on the internal/study
 // worker pool; -parallel bounds the pool (default GOMAXPROCS) and the
 // output is byte-identical at every width. -json switches the sweep
 // commands to machine-readable output with a stable field order; -stats
@@ -83,6 +84,7 @@ func main() {
 	backend := flag.String("backend", "cycle", "serve/cluster execution backend: cycle (Dolly instance), model (analytic fast path), hybrid (cycle + CPU soft-path spill)")
 	softCPUs := flag.Int("softcpus", 0, "serve/cluster: CPU soft-path workers per replica (hybrid backend defaults to 1)")
 	windows := flag.Int("windows", 0, "serve/cluster: record a flight-recorder series over N simulated-time windows (0 = off)")
+	scenario := flag.String("scenario", "all", "chaos: named fault scenario (wedge-storm|shard-crash-rejoin|deadline-burst|all)")
 	outPath := flag.String("out", "", "redirect stdout to `file` (report reads such files back with -in)")
 	inPath := flag.String("in", "", "report: load the series from `file` (default stdin)")
 	csvOut := flag.Bool("csv", false, "report: re-emit the loaded series as CSV instead of tables")
@@ -95,6 +97,9 @@ func main() {
 	maxInflight := flag.Int("maxinflight", 0, "daemon: outstanding-job bound, 503 past it (0 = 4x queuecap)")
 	timescale := flag.Float64("timescale", 1, "daemon: simulated seconds advanced per wall-clock second")
 	windowMS := flag.Float64("windowms", 250, "daemon: telemetry window width in simulated milliseconds")
+	wedgeProb := flag.Float64("wedgeprob", 0, "daemon: per-reprogram wedge probability (0 = no fault plan)")
+	retries := flag.Int("retries", 2, "daemon: retry budget for wedge victims (with -wedgeprob)")
+	faultSeed := flag.Int64("faultseed", 1, "daemon: fault-plan seed (with -wedgeprob)")
 	target := flag.String("target", "http://localhost:8080", "loadgen: daemon base URL")
 	lgMode := flag.String("mode", "closed", "loadgen: closed (lockstep workers) or open (paced arrivals)")
 	concurrency := flag.Int("concurrency", 8, "loadgen: closed-loop workers / open-loop in-flight cap")
@@ -145,9 +150,9 @@ func main() {
 			os.Exit(2)
 		}
 		switch cmds[0] {
-		case "fig9", "fig10", "fig11", "ablate", "ablations", "study", "serve", "cluster", "xval", "loadgen":
+		case "fig9", "fig10", "fig11", "ablate", "ablations", "study", "serve", "cluster", "xval", "chaos", "loadgen":
 		default:
-			fmt.Fprintf(os.Stderr, "duetsim: -json is not supported with %q; use a sweep command (fig9|fig10|fig11|ablate|study|serve|cluster|xval|loadgen)\n", cmds[0])
+			fmt.Fprintf(os.Stderr, "duetsim: -json is not supported with %q; use a sweep command (fig9|fig10|fig11|ablate|study|serve|cluster|xval|chaos|loadgen)\n", cmds[0])
 			os.Exit(2)
 		}
 	}
@@ -220,6 +225,7 @@ loop:
 				listen: *listen, backend: beMode, efpgas: *efpgas, softCPUs: *softCPUs,
 				policy: *policy, queueCap: *queueCap, maxInflight: *maxInflight,
 				timescale: *timescale, windowMS: *windowMS,
+				wedgeProb: *wedgeProb, retries: *retries, faultSeed: *faultSeed,
 			}); err != nil {
 				fmt.Fprintf(os.Stderr, "daemon: %v\n", err)
 				code = 1
@@ -237,6 +243,12 @@ loop:
 			}
 		case "xval":
 			if !xval(*parallel, *seed, *jobs, *efpgas, mode, *tolerance, *jsonOut) {
+				code = 1
+				break loop
+			}
+		case "chaos":
+			if err := chaosCmd(*parallel, *scenario, beMode, *jsonOut); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 				code = 1
 				break loop
 			}
@@ -324,8 +336,8 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-windows N] [-out F] [-in F] [-csv] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|report|daemon|loadgen|all}...")
-	fmt.Fprintln(os.Stderr, "  daemon flags: [-listen A] [-policy P] [-queuecap N] [-maxinflight N] [-timescale F] [-windowms F] [-backend ...] [-efpgas N] [-softcpus N]")
+	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-windows N] [-scenario S] [-out F] [-in F] [-csv] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|chaos|report|daemon|loadgen|all}...")
+	fmt.Fprintln(os.Stderr, "  daemon flags: [-listen A] [-policy P] [-queuecap N] [-maxinflight N] [-timescale F] [-windowms F] [-backend ...] [-efpgas N] [-softcpus N] [-wedgeprob F] [-retries N] [-faultseed N]")
 	fmt.Fprintln(os.Stderr, "  loadgen flags: [-target URL] [-mode closed|open] [-concurrency N] [-rate F] [-duration D] [-requests N] [-apps A,B] [-tenants a:3,b:1] [-timeout D] [-seed N] [-json]")
 }
 
@@ -839,6 +851,41 @@ func xval(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, tole
 		fmt.Printf("FAIL: model-vs-cycle divergence exceeds the %.2f%% tolerance.\n", 100*tolerance)
 	}
 	return ok
+}
+
+// chaosCmd runs the named fault scenarios of the deterministic chaos
+// harness (internal/workload/chaos.go) and prints their outcome records.
+// -scenario picks one scenario or "all"; -backend selects the execution
+// backend (the fault plan injects below the Backend seam, so cycle and
+// model runs produce identical outcomes — the property the golden tests
+// and the CI chaos-smoke job pin).
+func chaosCmd(parallel int, scenario string, beMode workload.BackendMode, jsonOut bool) error {
+	names := workload.ChaosScenarioNames()
+	if scenario != "all" {
+		names = []string{scenario}
+	}
+	results, err := workload.ChaosStudy(parallel, names, beMode)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		emitJSON(struct {
+			Chaos []workload.ChaosResult `json:"chaos"`
+		}{results})
+		return nil
+	}
+	header(fmt.Sprintf("Chaos: deterministic fault scenarios (%s backend)", beMode))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Scenario\tShards\tCompleted\tTimedOut\tUnavail\tWedges\tRetries\tQuar\tRerouted\tHedged\tGoodput\tAvail\tp99")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%v\n",
+			r.Scenario, r.Shards, r.Completed, r.Offered, r.TimedOut, r.Unavailable,
+			r.Wedges, r.Retries, r.Quarantined, r.Rerouted, r.Hedged,
+			r.Goodput, r.Availability, r.P99)
+	}
+	w.Flush()
+	fmt.Println("Outcomes are byte-identical per scenario at any -parallel width and across -backend cycle|model.")
+	return nil
 }
 
 // pdesRow is the machine-readable speculative-PDES ablation. Unlike the

@@ -156,6 +156,125 @@ type Config struct {
 	// catalog model). Construction runs sequentially, in shard order,
 	// before any goroutine starts.
 	NewReplica func(shard int, seed int64) (Replica, error)
+
+	// Faults, when set, is the front end's view of the run's fault plan:
+	// shard outage schedules for dead-shard reroute, and the hedging
+	// horizon for duplicate re-dispatch ahead of an imminent crash. The
+	// fault pass runs sequentially after routing, so it preserves the
+	// determinism contract verbatim. Nil (or an inactive spec) changes
+	// nothing.
+	Faults *FaultSpec
+}
+
+// FaultSpec is the cluster-level slice of a fault plan (the front end
+// never sees wedge or blowup draws — those live below the Backend seam).
+type FaultSpec struct {
+	// ShardDown lists outage windows per shard index (ascending,
+	// non-overlapping per shard; shards past the length never crash).
+	// Arrivals routed to a shard inside one of its windows are rerouted
+	// to the next healthy shard in index order; with every shard down
+	// the arrival stays put and the shard's scheduler refuses it.
+	ShardDown [][]sched.Downtime
+	// Hedge, when positive, duplicates every arrival whose shard will
+	// crash within Hedge of the arrival instant onto a healthy backup
+	// shard — the duplicate rides the stream immediately after its
+	// source arrival, keeping per-shard arrival order intact.
+	Hedge sim.Time
+}
+
+// active reports whether the spec can change any routing decision.
+func (f *FaultSpec) active() bool {
+	if f == nil {
+		return false
+	}
+	if f.Hedge > 0 {
+		return true
+	}
+	for _, d := range f.ShardDown {
+		if len(d) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// downAt reports whether shard is inside an outage window at instant at.
+func (f *FaultSpec) downAt(shard int, at sim.Time) bool {
+	if shard < 0 || shard >= len(f.ShardDown) {
+		return false
+	}
+	for _, w := range f.ShardDown[shard] {
+		if at >= w.From && at < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// crashesWithin reports whether shard enters an outage window in
+// (at, at+Hedge].
+func (f *FaultSpec) crashesWithin(shard int, at sim.Time) bool {
+	if shard < 0 || shard >= len(f.ShardDown) {
+		return false
+	}
+	for _, w := range f.ShardDown[shard] {
+		if w.From > at && w.From <= at+f.Hedge {
+			return true
+		}
+	}
+	return false
+}
+
+// nextHealthy scans shard indices after s (wrapping) for one not down at
+// instant at; ok is false when every other shard is down too.
+func (f *FaultSpec) nextHealthy(shards, s int, at sim.Time) (int, bool) {
+	for k := 1; k < shards; k++ {
+		alt := (s + k) % shards
+		if !f.downAt(alt, at) {
+			return alt, true
+		}
+	}
+	return s, false
+}
+
+// applyFaults is the front end's sequential fault pass: reroute arrivals
+// aimed at a down shard, then (under a positive hedge horizon) duplicate
+// arrivals whose shard is about to crash onto a healthy backup. The
+// returned stream keeps ascending arrival order — hedge duplicates ride
+// directly behind their source — so both replica kinds play it
+// identically.
+func applyFaults(f *FaultSpec, shards int, stream []Arrival, assign []int32) ([]Arrival, []int32, int, int) {
+	rerouted := 0
+	for i := range stream {
+		s := int(assign[i])
+		if f.downAt(s, stream[i].At) {
+			if alt, ok := f.nextHealthy(shards, s, stream[i].At); ok {
+				assign[i] = int32(alt)
+				rerouted++
+			}
+		}
+	}
+	if f.Hedge <= 0 {
+		return stream, assign, rerouted, 0
+	}
+	hedged := 0
+	out := make([]Arrival, 0, len(stream))
+	outAssign := make([]int32, 0, len(assign))
+	for i := range stream {
+		out = append(out, stream[i])
+		outAssign = append(outAssign, assign[i])
+		s := int(assign[i])
+		if f.crashesWithin(s, stream[i].At) {
+			if alt, ok := f.nextHealthy(shards, s, stream[i].At); ok {
+				// The Arrival holds its Job by value, so the duplicate is
+				// an independent job record.
+				out = append(out, stream[i])
+				outAssign = append(outAssign, int32(alt))
+				hedged++
+			}
+		}
+	}
+	return out, outAssign, rerouted, hedged
 }
 
 // ShardSeed derives shard i's seed from the cluster seed with a
@@ -204,6 +323,12 @@ type Result struct {
 	Merged   sched.Stats
 	PerShard []ShardResult
 
+	// Rerouted counts arrivals moved off a down shard by the front end's
+	// fault pass; Hedged counts duplicate arrivals dispatched ahead of an
+	// imminent shard crash. Both are zero without a fault spec.
+	Rerouted int
+	Hedged   int
+
 	// Windows is the cluster-wide flight-recorder merge: per-shard
 	// window series combined index for index in shard order (counters
 	// add, busy columns concatenate, digests merge). Nil when no shard
@@ -245,6 +370,10 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 	// entries out of the shared stream, so no per-shard copy of the
 	// (potentially huge) stream is ever built.
 	assign := route(cfg.Shards, cfg.FrontEnd, reps, stream)
+	var rerouted, hedged int
+	if cfg.Faults.active() {
+		stream, assign, rerouted, hedged = applyFaults(cfg.Faults, cfg.Shards, stream, assign)
+	}
 	counts := make([]int, cfg.Shards)
 	for _, s := range assign {
 		counts[s]++
@@ -288,6 +417,8 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 		FrontEnd: cfg.FrontEnd,
 		Offered:  len(stream),
 		PerShard: results,
+		Rerouted: rerouted,
+		Hedged:   hedged,
 	}
 	res.Merged = Merge(results)
 	recs := make([]*telemetry.Recorder, len(results))

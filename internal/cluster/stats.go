@@ -34,6 +34,11 @@ func Merge(shards []ShardResult) sched.Stats {
 		m.Rejected += s.Stats.Rejected
 		m.Reconfigs += s.Stats.Reconfigs
 		m.DeadlineMisses += s.Stats.DeadlineMisses
+		m.TimedOut += s.Stats.TimedOut
+		m.Unavailable += s.Stats.Unavailable
+		m.Wedges += s.Stats.Wedges
+		m.Retries += s.Stats.Retries
+		m.Quarantined += s.Stats.Quarantined
 		if s.Stats.Makespan > m.Makespan {
 			m.Makespan = s.Stats.Makespan
 		}

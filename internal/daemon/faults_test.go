@@ -1,0 +1,185 @@
+package daemon
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"duet/internal/faults"
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+func getHealth(t *testing.T, url string) (int, Health) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := resp.StatusCode
+	return code, decodeJSON[Health](t, resp)
+}
+
+// TestHealthzHealthy: a fault-free server reports the full pool healthy
+// with zero fault counters — the readiness baseline.
+func TestHealthzHealthy(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, h := getHealth(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", code)
+	}
+	want := Health{Status: "healthy", Workers: 1, HealthyWorkers: 1}
+	if h != want {
+		t.Fatalf("healthz payload %+v, want %+v", h, want)
+	}
+}
+
+// TestHealthzDegradesOnWedge is the fault e2e on a fake clock: a
+// certain-wedge plan quarantines fabric after fabric as jobs arrive, the
+// payload walks healthy → degraded → down, a fully degraded pool turns
+// submissions and readiness into 503s, and /metrics carries the fault
+// counters the whole way.
+func TestHealthzDegradesOnWedge(t *testing.T) {
+	s, clock := newTestServer(t, func(cfg *Config) {
+		cfg.EFPGAs = 2
+		// Every reprogram wedges; no retry budget, so each victim fails
+		// after quarantining its fabric.
+		cfg.Faults = &faults.Plan{Seed: 1, WedgeProb: 1}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, h := getHealth(t, ts.URL); code != http.StatusOK || h.Status != "healthy" {
+		t.Fatalf("fresh pool: healthz %d %+v, want 200 healthy", code, h)
+	}
+
+	// First job: its reprogram wedges fabric 0 (detection charges 50µs of
+	// simulated time, so advance well past it).
+	resp := postJob(t, ts.URL, JobRequest{App: "Tangent", InputSize: 64, Wait: false})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1 status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+	clock.Advance(time.Second)
+	s.Tick()
+
+	code, h := getHealth(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("degraded healthz status %d, want 200", code)
+	}
+	want := Health{Status: "degraded", Workers: 2, HealthyWorkers: 1, WedgedFabrics: 1}
+	if h != want {
+		t.Fatalf("after first wedge: %+v, want %+v", h, want)
+	}
+
+	// Second job wedges the remaining fabric: fully degraded.
+	resp = postJob(t, ts.URL, JobRequest{App: "Popcount", InputSize: 64, Wait: false})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 2 status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+	clock.Advance(time.Second)
+	s.Tick()
+
+	code, h = getHealth(t, ts.URL)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("down healthz status %d, want 503", code)
+	}
+	want = Health{Status: "down", Workers: 2, HealthyWorkers: 0, WedgedFabrics: 2}
+	if h != want {
+		t.Fatalf("after second wedge: %+v, want %+v", h, want)
+	}
+
+	// A fully degraded pool refuses new work with 503 before the
+	// scheduler ever sees it.
+	resp = postJob(t, ts.URL, JobRequest{App: "BFS", InputSize: 64, Wait: false})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on dead pool status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The wedges flow into /metrics as fault counters and gauges.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	for _, wantLine := range []string{
+		"duetsim_wedges_total 2\n",
+		"duetsim_quarantines_total 2\n",
+		"duetsim_healthy_workers 0\n",
+		"duetsim_wedged_fabrics 2\n",
+		"duetsim_shard_down 0\n",
+	} {
+		if !strings.Contains(got, wantLine) {
+			t.Errorf("metrics missing %q", wantLine)
+		}
+	}
+}
+
+// TestHealthzDownWindow: a scheduled outage window flips readiness to
+// down (503) for exactly the window's simulated span, refusing
+// submissions inside it, and recovers on rejoin.
+func TestHealthzDownWindow(t *testing.T) {
+	s, clock := newTestServer(t, func(cfg *Config) {
+		// Down for simulated [1s, 2s) — at timescale 1, wall seconds 1..2.
+		cfg.Faults = &faults.Plan{
+			Seed:      1,
+			ShardDown: [][]sched.Downtime{{{From: 1000 * sim.MS, To: 2000 * sim.MS}}},
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, h := getHealth(t, ts.URL); code != http.StatusOK || h.Status != "healthy" {
+		t.Fatalf("before window: healthz %d %+v, want 200 healthy", code, h)
+	}
+
+	clock.Advance(1500 * time.Millisecond)
+	s.Tick()
+	code, h := getHealth(t, ts.URL)
+	if code != http.StatusServiceUnavailable || h.Status != "down" || h.DeadShards != 1 {
+		t.Fatalf("inside window: healthz %d %+v, want 503 down/1 dead shard", code, h)
+	}
+	resp := postJob(t, ts.URL, JobRequest{App: "Tangent", InputSize: 64, Wait: false})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit inside window status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	clock.Advance(1 * time.Second)
+	s.Tick()
+	code, h = getHealth(t, ts.URL)
+	if code != http.StatusOK || h.Status != "healthy" || h.DeadShards != 0 {
+		t.Fatalf("after rejoin: healthz %d %+v, want 200 healthy", code, h)
+	}
+	resp = postJob(t, ts.URL, JobRequest{App: "Tangent", InputSize: 64, Wait: false})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after rejoin status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestHealthzDrainingKeepsShape: draining shows through the readiness
+// payload (still 200: the instance answers, it just admits nothing).
+func TestHealthzDrainingKeepsShape(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Drain()
+	code, h := getHealth(t, ts.URL)
+	if code != http.StatusOK || h.Status != "draining" {
+		t.Fatalf("draining healthz %d %+v, want 200 draining", code, h)
+	}
+}

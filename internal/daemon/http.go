@@ -16,7 +16,8 @@ import (
 //	GET  /v1/jobs/{id} poll an async job's Result
 //	GET  /v1/apps      list the registered application catalog
 //	GET  /metrics      Prometheus text exposition (recorder + daemon gauges)
-//	GET  /healthz      liveness, reports draining state
+//	GET  /healthz      readiness: healthy/degraded/down/draining plus
+//	                   wedged-fabric and dead-shard counts; 503 when down
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -71,6 +72,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case Draining:
 		w.Header().Set("Retry-After", retryAfter(out.Retry))
 		httpError(w, http.StatusServiceUnavailable, "draining: server is shutting down")
+	case Unavailable:
+		w.Header().Set("Retry-After", retryAfter(out.Retry))
+		httpError(w, http.StatusServiceUnavailable, "unavailable: no healthy worker in the pool")
 	case Admitted:
 		if !req.Wait {
 			writeJSON(w, http.StatusAccepted, map[string]any{"id": out.ID, "status": "pending"})
@@ -121,9 +125,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	status := "ok"
-	if s.Draining() {
-		status = "draining"
+	h := s.Health()
+	code := http.StatusOK
+	if h.Status == "down" {
+		// Fully degraded: readiness probes must fail the instance.
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, code, h)
 }

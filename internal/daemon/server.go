@@ -7,6 +7,7 @@ import (
 	"time"
 
 	duet "duet"
+	"duet/internal/faults"
 	"duet/internal/model"
 	"duet/internal/sched"
 	"duet/internal/sim"
@@ -53,6 +54,13 @@ type Config struct {
 	// ResultCap bounds retained finished results for GET /v1/jobs/{id}
 	// (default 16384, evicted oldest-first).
 	ResultCap int
+
+	// Faults, when non-nil, installs the deterministic fault-injection
+	// seam on the daemon's pool (internal/faults): wedge-on-reprogram
+	// quarantines, service blowups, retry budgets, deadline enforcement
+	// and downtime windows, all in simulated time. The daemon is a
+	// single-shard stack, so the plan's shard-0 schedule applies.
+	Faults *faults.Plan
 
 	// Clock is the wall-time source (default NewWallClock). Tests inject
 	// a *FakeClock here.
@@ -155,6 +163,10 @@ const (
 	Overloaded
 	// Draining: the server is shutting down and admits nothing (HTTP 503).
 	Draining
+	// Unavailable: the pool is fully degraded — every worker quarantined
+	// by wedged reprograms, or the shard is inside a scheduled outage
+	// window — and no new job could be placed (HTTP 503).
+	Unavailable
 )
 
 // SubmitOutcome is Submit's result. Retry is the advisory wall-clock
@@ -202,15 +214,26 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Clock = NewWallClock()
 	}
 
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.NewInjector(cfg.Faults, 0)
+	}
 	var tl liveTimeline
 	var sch *sched.Scheduler
 	switch cfg.Backend {
 	case workload.BackendModel:
-		rep := model.NewReplica(model.Config{
+		mcfg := model.Config{
 			EFPGAs: cfg.EFPGAs, SoftCPUs: cfg.SoftCPUs, MemHubs: cfg.MemHubs,
 			Policy: cfg.Policy, QueueCap: cfg.QueueCap, Stats: sched.StatsStreaming,
 			CPUSlowdown: cfg.CPUSlowdown,
-		})
+		}
+		if inj != nil {
+			mcfg.Wrap = func(tl model.Timeline, worker int, be sched.Backend) sched.Backend {
+				return inj.Wrap(tl, worker, be)
+			}
+			mcfg.Faults = cfg.Faults.FaultConfig(0)
+		}
+		rep := model.NewReplica(mcfg)
 		sch = rep.Scheduler()
 		tl = rep.Events()
 	case workload.BackendCycle, workload.BackendHybrid:
@@ -223,9 +246,17 @@ func NewServer(cfg Config) (*Server, error) {
 				soft = append(soft, model.NewCPU(sys.Eng, fmt.Sprintf("cpu%d", i), cfg.CPUSlowdown))
 			}
 		}
-		sch = sys.SchedulerWith(sched.Config{
+		scfg := sched.Config{
 			Policy: cfg.Policy, QueueCap: cfg.QueueCap, Stats: sched.StatsStreaming,
-		}, soft...)
+		}
+		var wrap func(worker int, be sched.Backend) sched.Backend
+		if inj != nil {
+			scfg.Faults = cfg.Faults.FaultConfig(0)
+			wrap = func(worker int, be sched.Backend) sched.Backend {
+				return inj.Wrap(sys.Eng, worker, be)
+			}
+		}
+		sch = sys.SchedulerWrapped(scfg, wrap, soft...)
 		tl = engineTimeline{sys.Eng}
 	default:
 		return nil, fmt.Errorf("daemon: unknown backend mode %v", cfg.Backend)
@@ -313,6 +344,9 @@ func (s *Server) Submit(req JobRequest) SubmitOutcome {
 	if s.outstanding >= s.cfg.MaxOutstanding {
 		return SubmitOutcome{Code: Overloaded, Retry: s.retryLocked()}
 	}
+	if s.sch.HealthyWorkers() == 0 || s.sch.DownAt(s.tl.Now()) {
+		return SubmitOutcome{Code: Unavailable, Retry: time.Second}
+	}
 	j := &sched.Job{App: req.App, InputSize: req.InputSize, Priority: req.Priority}
 	if req.DeadlineUS > 0 {
 		j.Deadline = s.tl.Now() + sim.Time(req.DeadlineUS)*sim.US
@@ -398,6 +432,44 @@ func (s *Server) Drain() {
 	s.rec.ExtendHorizon(s.tl.Now())
 }
 
+// Health is the /healthz readiness payload: the pool's degradation
+// state under the fault model. Status is "healthy", "degraded" (some
+// fabric quarantined but service continues), "down" (no healthy worker,
+// or the shard is inside a scheduled outage window), or "draining".
+type Health struct {
+	Status         string `json:"status"`
+	Workers        int    `json:"workers"`
+	HealthyWorkers int    `json:"healthy_workers"`
+	WedgedFabrics  int    `json:"wedged_fabrics"`
+	DeadShards     int    `json:"dead_shards"`
+}
+
+// Health snapshots the readiness state at the clock's current instant.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	h := Health{
+		Workers:        s.sch.Workers(),
+		HealthyWorkers: s.sch.HealthyWorkers(),
+		WedgedFabrics:  s.sch.QuarantinedWorkers(),
+	}
+	if s.sch.DownAt(s.tl.Now()) {
+		h.DeadShards = 1
+	}
+	switch {
+	case h.HealthyWorkers == 0 || h.DeadShards > 0:
+		h.Status = "down"
+	case s.draining:
+		h.Status = "draining"
+	case h.WedgedFabrics > 0:
+		h.Status = "degraded"
+	default:
+		h.Status = "healthy"
+	}
+	return h
+}
+
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool {
 	s.mu.Lock()
@@ -469,6 +541,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		{"outstanding_jobs", "Admitted jobs not yet retired.", int64(s.outstanding)},
 		{"queue_len", "Current admission-queue depth.", int64(s.sch.QueueLen())},
 		{"draining", "1 while the server is draining for shutdown.", b2i(s.draining)},
+		{"healthy_workers", "Workers still accepting placements.", int64(s.sch.HealthyWorkers())},
+		{"wedged_fabrics", "Fabrics quarantined by wedged reprograms.", int64(s.sch.QuarantinedWorkers())},
+		{"shard_down", "1 while the pool is inside a scheduled outage window.", b2i(s.sch.DownAt(s.tl.Now()))},
 	}
 	for _, g := range gauges {
 		typ := "gauge"

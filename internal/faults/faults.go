@@ -1,0 +1,302 @@
+// Package faults is the deterministic fault-injection layer of the
+// serving stack: a seeded, fully reproducible Plan of modeled failures,
+// injected below the sched.Backend seam so the cycle-level and analytic
+// model backends fail identically — the same faults at the same
+// simulated instants, whatever executes the job.
+//
+// Three fault classes are modeled:
+//
+//   - Wedge-on-reprogram: with a per-fabric probability, a placement
+//     that triggers reconfiguration never completes it — the modeled
+//     ProgWedged outcome (see core.Adapter's bounded programming poll).
+//     The injector charges a detection occupancy, then fails the job
+//     with an error wrapping sched.ErrWedged; the scheduler quarantines
+//     the fabric and retries the victim (sched/faults.go).
+//   - Service-time blowups: with a per-job probability, a job's service
+//     takes BlowupFactor times its modeled occupancy — a straggler, not
+//     a failure.
+//   - Shard crash/rejoin schedules: simulated-time outage windows per
+//     cluster shard, enforced by the scheduler's downtime state machine
+//     and visible to cluster front ends for reroute and hedging.
+//
+// Determinism: every draw is a pure counted hash of (seed, fault class,
+// shard, site, sequence) — no RNG stream that scheduling order could
+// perturb. The nth reprogram attempt on worker w of shard s wedges, or
+// not, identically on every backend and at every study-pool width,
+// because the scheduler's dispatch sequence is itself deterministic.
+package faults
+
+import (
+	"fmt"
+
+	"duet/internal/efpga"
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// DefaultWedgeDetect is the occupancy charged before a wedged reprogram
+// is detected: the modeled driver's bounded programming-status poll
+// giving up. Overridden per plan by WedgeDetect.
+const DefaultWedgeDetect = 50 * sim.US
+
+// DefaultBlowupFactor is the service-time multiplier of a blown-up job
+// when the plan does not set one.
+const DefaultBlowupFactor = 4.0
+
+// Plan is one seeded, fully reproducible fault scenario. The zero Plan
+// (and a nil *Plan) injects nothing; an empty plan wired into a stack
+// still installs the injection seam, which is what the fault-free
+// overhead benchmark measures.
+type Plan struct {
+	// Seed keys every draw; two runs of one plan make identical draws.
+	Seed int64
+
+	// WedgeProb is the probability that a reprogram attempt wedges its
+	// fabric; WedgeProbs, when non-empty, overrides it per worker index
+	// (entries beyond its length fall back to WedgeProb). CPU soft-path
+	// workers never reprogram and so never wedge.
+	WedgeProb  float64
+	WedgeProbs []float64
+	// WedgeDetect is the fabric occupancy charged from dispatch to
+	// wedge detection (default DefaultWedgeDetect).
+	WedgeDetect sim.Time
+	// MaxRetries is the per-job re-queue budget after wedges, applied
+	// through sched.FaultConfig.
+	MaxRetries int
+
+	// BlowupProb is the per-job probability of a service-time straggler;
+	// BlowupFactor is its multiplier (default DefaultBlowupFactor).
+	BlowupProb   float64
+	BlowupFactor float64
+
+	// EnforceDeadlines drops queued jobs past their absolute deadline
+	// with a distinct timed-out outcome (sched.ErrTimedOut).
+	EnforceDeadlines bool
+
+	// ShardDown lists outage windows per cluster shard (index = shard;
+	// shards past its length never crash). Windows must be ascending and
+	// non-overlapping per shard.
+	ShardDown [][]sched.Downtime
+
+	// Hedge, when positive, makes cluster front ends duplicate arrivals
+	// routed to a shard that will crash within Hedge of the arrival
+	// instant onto a healthy backup shard — hedged re-dispatch ahead of
+	// the crash the victim arrival would be killed by.
+	Hedge sim.Time
+}
+
+// Empty reports whether the plan injects nothing anywhere — wrappers
+// built from it are pure pass-through.
+func (p *Plan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	if p.WedgeProb > 0 || p.BlowupProb > 0 || p.EnforceDeadlines || p.MaxRetries > 0 || p.Hedge > 0 {
+		return false
+	}
+	for _, w := range p.WedgeProbs {
+		if w > 0 {
+			return false
+		}
+	}
+	for _, d := range p.ShardDown {
+		if len(d) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DownFor reports shard's outage schedule (nil past the plan's length).
+func (p *Plan) DownFor(shard int) []sched.Downtime {
+	if p == nil || shard < 0 || shard >= len(p.ShardDown) {
+		return nil
+	}
+	return p.ShardDown[shard]
+}
+
+// FaultConfig renders the plan's scheduler-side knobs for one shard.
+func (p *Plan) FaultConfig(shard int) sched.FaultConfig {
+	if p == nil {
+		return sched.FaultConfig{}
+	}
+	return sched.FaultConfig{
+		MaxRetries:       p.MaxRetries,
+		EnforceDeadlines: p.EnforceDeadlines,
+		Down:             p.DownFor(shard),
+	}
+}
+
+// wedgeProbFor resolves the effective wedge probability of one worker.
+func (p *Plan) wedgeProbFor(worker int) float64 {
+	if worker >= 0 && worker < len(p.WedgeProbs) {
+		return p.WedgeProbs[worker]
+	}
+	return p.WedgeProb
+}
+
+// Fault-class discriminators mixed into every draw, so the wedge and
+// blowup streams are independent even at equal sites.
+const (
+	classWedge uint64 = 1 + iota
+	classBlowup
+)
+
+// mix is a splitmix64-style finalizer over the draw's key material.
+func mix(vals ...uint64) uint64 {
+	z := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		z += v
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
+// draw maps key material to a uniform in [0, 1).
+func draw(vals ...uint64) float64 {
+	return float64(mix(vals...)>>11) / (1 << 53)
+}
+
+// Injector makes one shard's fault draws. It is shared by the shard's
+// backend wrappers and is not safe for concurrent use (a shard runs on
+// one timeline).
+type Injector struct {
+	plan  *Plan
+	shard int
+}
+
+// NewInjector builds shard's injector over plan (nil plan injects
+// nothing).
+func NewInjector(plan *Plan, shard int) *Injector {
+	return &Injector{plan: plan, shard: shard}
+}
+
+// wedge decides whether worker's nth reprogram attempt wedges.
+func (in *Injector) wedge(worker, attempt int) bool {
+	if in.plan == nil {
+		return false
+	}
+	prob := in.plan.wedgeProbFor(worker)
+	if prob <= 0 {
+		return false
+	}
+	return draw(uint64(in.plan.Seed), classWedge, uint64(in.shard), uint64(worker), uint64(attempt)) < prob
+}
+
+// blowup reports a job's service-time multiplier: 1 for normal service.
+func (in *Injector) blowup(jobID int) float64 {
+	if in.plan == nil || in.plan.BlowupProb <= 0 {
+		return 1
+	}
+	if draw(uint64(in.plan.Seed), classBlowup, uint64(in.shard), uint64(jobID)) >= in.plan.BlowupProb {
+		return 1
+	}
+	if in.plan.BlowupFactor > 0 {
+		return in.plan.BlowupFactor
+	}
+	return DefaultBlowupFactor
+}
+
+// detect is the plan's wedge-detection occupancy.
+func (in *Injector) detect() sim.Time {
+	if in.plan != nil && in.plan.WedgeDetect > 0 {
+		return in.plan.WedgeDetect
+	}
+	return DefaultWedgeDetect
+}
+
+// Timeline is the deferred-callback surface the wrapper charges fault
+// occupancies on. Both *model.Events and *sim.Engine satisfy it — the
+// same seam the model backends schedule through.
+type Timeline interface {
+	AfterArg(d sim.Time, fn func(any), arg any)
+}
+
+// Wrap decorates one execution backend with the injector's fault model;
+// worker is its scheduler index (the wedge-probability and draw site).
+// The wrapper is transparent under an empty plan: every dispatch goes
+// straight to the inner backend after two cheap probability checks.
+func (in *Injector) Wrap(tl Timeline, worker int, be sched.Backend) sched.Backend {
+	b := &backend{inner: be, tl: tl, in: in, worker: worker}
+	b.wedgeFn = func(a any) {
+		j := a.(*sched.Job)
+		b.done(j, fmt.Errorf("faults: reprogram of %q on worker %d: %w", j.App, b.worker, sched.ErrWedged))
+	}
+	b.holdFn = func(a any) { b.done(a.(*sched.Job), nil) }
+	return b
+}
+
+// backend is the fault-injecting sched.Backend decorator. One job is in
+// flight per worker, so the blowup extension rides in a field and both
+// callbacks stay closure-free.
+type backend struct {
+	inner  sched.Backend
+	tl     Timeline
+	in     *Injector
+	worker int
+
+	// attempts counts reprogram attempts on this worker — the wedge
+	// draw's deterministic sequence number.
+	attempts int
+
+	done    func(*sched.Job, error)
+	extra   sim.Time // blowup service extension of the in-flight job
+	wedgeFn func(any)
+	holdFn  func(any)
+}
+
+func (b *backend) Kind() sched.BackendKind { return b.inner.Kind() }
+func (b *backend) Name() string            { return b.inner.Name() }
+
+func (b *backend) Capacity() efpga.Resources            { return b.inner.Capacity() }
+func (b *backend) Register(bs *efpga.Bitstream) error   { return b.inner.Register(bs) }
+func (b *backend) Resident() string                     { return b.inner.Resident() }
+func (b *backend) ReconfigCost(app *sched.App) sim.Time { return b.inner.ReconfigCost(app) }
+func (b *backend) ServiceTime(app *sched.App, n int) sim.Time {
+	return b.inner.ServiceTime(app, n)
+}
+
+// Bind interposes on the completion path: the inner backend completes
+// into innerDone, which defers blown-up jobs before handing them to the
+// scheduler's real callback.
+func (b *backend) Bind(settleCycles int64, done func(*sched.Job, error)) {
+	b.done = done
+	b.inner.Bind(settleCycles, b.innerDone)
+}
+
+func (b *backend) innerDone(j *sched.Job, err error) {
+	if err != nil || b.extra <= 0 {
+		b.done(j, err)
+		return
+	}
+	d := b.extra
+	b.extra = 0
+	b.tl.AfterArg(d, b.holdFn, j)
+}
+
+// Dispatch draws the job's faults, then delegates. A placement that
+// would reprogram (nonzero modeled reconfig cost) counts as an attempt;
+// a wedged attempt never reaches the inner backend — the job occupies
+// the worker for the detection time and fails with sched.ErrWedged,
+// leaving the inner backend's residency untouched (the fabric is
+// quarantined anyway).
+func (b *backend) Dispatch(j *sched.Job, app *sched.App) {
+	if b.inner.ReconfigCost(app) > 0 {
+		b.attempts++
+		if b.in.wedge(b.worker, b.attempts) {
+			// The attempt started a reconfiguration; the observer
+			// contract (Reprogrammed settled synchronously at dispatch)
+			// holds for wedged attempts too.
+			j.Reprogrammed = true
+			b.tl.AfterArg(b.in.detect(), b.wedgeFn, j)
+			return
+		}
+	}
+	b.extra = 0
+	if f := b.in.blowup(j.ID); f > 1 {
+		b.extra = sim.Time((f - 1) * float64(b.inner.ServiceTime(app, j.InputSize)))
+	}
+	b.inner.Dispatch(j, app)
+}

@@ -1,0 +1,300 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"duet/internal/efpga"
+	"duet/internal/sched"
+	"duet/internal/sim"
+)
+
+// TestDrawsDeterministic: draws are pure functions of their key material
+// — two injectors over equal plans agree site by site, which is the
+// whole determinism story (no RNG stream scheduling order could skew).
+func TestDrawsDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 42, WedgeProb: 0.3, BlowupProb: 0.2, BlowupFactor: 3}
+	a := NewInjector(plan, 1)
+	b := NewInjector(&Plan{Seed: 42, WedgeProb: 0.3, BlowupProb: 0.2, BlowupFactor: 3}, 1)
+	for attempt := 1; attempt <= 200; attempt++ {
+		if a.wedge(0, attempt) != b.wedge(0, attempt) {
+			t.Fatalf("wedge draw diverged at attempt %d", attempt)
+		}
+		if a.blowup(attempt) != b.blowup(attempt) {
+			t.Fatalf("blowup draw diverged at job %d", attempt)
+		}
+	}
+}
+
+// TestDrawsKeyedBySite: changing any key component — seed, shard,
+// worker — changes the draw stream; and the wedge and blowup classes
+// are independent even at equal sites.
+func TestDrawsKeyedBySite(t *testing.T) {
+	base := NewInjector(&Plan{Seed: 1, WedgeProb: 0.5, BlowupProb: 0.5}, 0)
+	seeds := NewInjector(&Plan{Seed: 2, WedgeProb: 0.5, BlowupProb: 0.5}, 0)
+	shards := NewInjector(&Plan{Seed: 1, WedgeProb: 0.5, BlowupProb: 0.5}, 1)
+	diff := func(other *Injector) bool {
+		for attempt := 1; attempt <= 64; attempt++ {
+			if base.wedge(0, attempt) != other.wedge(0, attempt) {
+				return true
+			}
+		}
+		return false
+	}
+	if !diff(seeds) {
+		t.Error("seed change did not move the wedge stream")
+	}
+	if !diff(shards) {
+		t.Error("shard change did not move the wedge stream")
+	}
+	workerDiff := false
+	for attempt := 1; attempt <= 64; attempt++ {
+		if base.wedge(0, attempt) != base.wedge(1, attempt) {
+			workerDiff = true
+			break
+		}
+	}
+	if !workerDiff {
+		t.Error("worker change did not move the wedge stream")
+	}
+	classDiff := false
+	for n := 1; n <= 64; n++ {
+		if base.wedge(0, n) != (base.blowup(n) > 1) {
+			classDiff = true
+			break
+		}
+	}
+	if !classDiff {
+		t.Error("wedge and blowup classes are not independent at equal sites")
+	}
+}
+
+// TestWedgeRate: over many attempts the wedge frequency tracks the
+// plan's probability — the draws really are uniform, not clustered.
+func TestWedgeRate(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 7, WedgeProb: 0.25}, 0)
+	hits := 0
+	const n = 10000
+	for attempt := 1; attempt <= n; attempt++ {
+		if in.wedge(0, attempt) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("wedge rate %.3f far from plan probability 0.25", rate)
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want bool
+	}{
+		{"nil", nil, true},
+		{"zero", &Plan{}, true},
+		{"seed-only", &Plan{Seed: 99}, true},
+		{"empty-shard-schedules", &Plan{ShardDown: [][]sched.Downtime{nil, {}}}, true},
+		{"wedge", &Plan{WedgeProb: 0.1}, false},
+		{"per-worker-wedge", &Plan{WedgeProbs: []float64{0, 0.5}}, false},
+		{"blowup", &Plan{BlowupProb: 0.1}, false},
+		{"deadlines", &Plan{EnforceDeadlines: true}, false},
+		{"retries", &Plan{MaxRetries: 1}, false},
+		{"downtime", &Plan{ShardDown: [][]sched.Downtime{{{From: 1, To: 2}}}}, false},
+		{"hedge", &Plan{Hedge: sim.US}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.plan.Empty(); got != tc.want {
+			t.Errorf("%s: Empty() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFaultConfigPerShard(t *testing.T) {
+	plan := &Plan{
+		MaxRetries:       3,
+		EnforceDeadlines: true,
+		ShardDown:        [][]sched.Downtime{nil, {{From: 10, To: 20}}},
+	}
+	fc := plan.FaultConfig(1)
+	if fc.MaxRetries != 3 || !fc.EnforceDeadlines {
+		t.Fatalf("shard 1 config %+v lost scheduler knobs", fc)
+	}
+	if len(fc.Down) != 1 || fc.Down[0] != (sched.Downtime{From: 10, To: 20}) {
+		t.Fatalf("shard 1 downtime %+v, want the plan's window", fc.Down)
+	}
+	if got := plan.FaultConfig(0).Down; got != nil {
+		t.Fatalf("shard 0 downtime %+v, want none", got)
+	}
+	// Shards past the schedule's length never crash; a nil plan renders
+	// the zero config.
+	if got := plan.FaultConfig(5).Down; got != nil {
+		t.Fatalf("shard 5 downtime %+v, want none", got)
+	}
+	if got := (*Plan)(nil).FaultConfig(0); got.MaxRetries != 0 || got.EnforceDeadlines || got.Down != nil {
+		t.Fatalf("nil plan config %+v, want zero", got)
+	}
+}
+
+func TestWedgeProbPerWorkerOverride(t *testing.T) {
+	plan := &Plan{WedgeProb: 0.5, WedgeProbs: []float64{0, 1}}
+	if got := plan.wedgeProbFor(0); got != 0 {
+		t.Errorf("worker 0 prob %v, want per-worker 0", got)
+	}
+	if got := plan.wedgeProbFor(1); got != 1 {
+		t.Errorf("worker 1 prob %v, want per-worker 1", got)
+	}
+	if got := plan.wedgeProbFor(2); got != 0.5 {
+		t.Errorf("worker 2 prob %v, want fallback 0.5", got)
+	}
+	// A certain-wedge worker wedges every attempt; a zero-prob worker
+	// never does, regardless of the shared fallback.
+	in := NewInjector(plan, 0)
+	for attempt := 1; attempt <= 32; attempt++ {
+		if in.wedge(0, attempt) {
+			t.Fatal("zero-probability worker wedged")
+		}
+		if !in.wedge(1, attempt) {
+			t.Fatal("certain-wedge worker did not wedge")
+		}
+	}
+}
+
+func TestDetectOccupancy(t *testing.T) {
+	if got := NewInjector(&Plan{}, 0).detect(); got != DefaultWedgeDetect {
+		t.Errorf("default detect %v, want %v", got, DefaultWedgeDetect)
+	}
+	if got := NewInjector(&Plan{WedgeDetect: 7 * sim.US}, 0).detect(); got != 7*sim.US {
+		t.Errorf("detect %v, want the plan's 7us", got)
+	}
+}
+
+// stubBackend records Dispatch/Bind traffic and completes jobs
+// synchronously, so the wrapper's interposition is directly observable.
+type stubBackend struct {
+	reconfig   sim.Time
+	service    sim.Time
+	dispatched []int
+	done       func(*sched.Job, error)
+}
+
+func (s *stubBackend) Kind() sched.BackendKind              { return sched.BackendCycle }
+func (s *stubBackend) Name() string                         { return "stub" }
+func (s *stubBackend) Capacity() efpga.Resources            { return efpga.Resources{} }
+func (s *stubBackend) Register(*efpga.Bitstream) error      { return nil }
+func (s *stubBackend) Resident() string                     { return "" }
+func (s *stubBackend) ReconfigCost(*sched.App) sim.Time     { return s.reconfig }
+func (s *stubBackend) ServiceTime(*sched.App, int) sim.Time { return s.service }
+func (s *stubBackend) Bind(_ int64, done func(*sched.Job, error)) {
+	s.done = done
+}
+func (s *stubBackend) Dispatch(j *sched.Job, _ *sched.App) {
+	s.dispatched = append(s.dispatched, j.ID)
+	s.done(j, nil)
+}
+
+// stubTimeline records AfterArg calls without a real engine.
+type stubTimeline struct {
+	delays []sim.Time
+	fns    []func(any)
+	args   []any
+}
+
+func (tl *stubTimeline) AfterArg(d sim.Time, fn func(any), arg any) {
+	tl.delays = append(tl.delays, d)
+	tl.fns = append(tl.fns, fn)
+	tl.args = append(tl.args, arg)
+}
+
+// TestWrapEmptyPlanPassThrough: under an empty plan the wrapper is pure
+// pass-through — every dispatch reaches the inner backend, completions
+// flow straight through, and the timeline is never touched. This is the
+// contract the fault-free overhead benchmark leans on.
+func TestWrapEmptyPlanPassThrough(t *testing.T) {
+	inner := &stubBackend{reconfig: sim.US, service: 10 * sim.US}
+	tl := &stubTimeline{}
+	be := NewInjector(&Plan{}, 0).Wrap(tl, 0, inner)
+
+	var completed []int
+	be.Bind(0, func(j *sched.Job, err error) {
+		if err != nil {
+			t.Fatalf("job %d failed under empty plan: %v", j.ID, err)
+		}
+		completed = append(completed, j.ID)
+	})
+	app := &sched.App{}
+	for id := 1; id <= 5; id++ {
+		be.Dispatch(&sched.Job{ID: id}, app)
+	}
+	if len(inner.dispatched) != 5 || len(completed) != 5 {
+		t.Fatalf("dispatched %v completed %v, want 5 each", inner.dispatched, completed)
+	}
+	if len(tl.delays) != 0 {
+		t.Fatalf("empty plan touched the timeline: %v", tl.delays)
+	}
+	if be.Kind() != inner.Kind() || be.Name() != inner.Name() ||
+		be.ServiceTime(app, 1) != inner.service || be.ReconfigCost(app) != inner.reconfig {
+		t.Fatal("wrapper does not delegate the read-only surface")
+	}
+}
+
+// TestWrapWedgeInterception: a certain-wedge plan never lets a
+// reprogramming dispatch reach the inner backend — the job fails after
+// the detection occupancy with an error wrapping sched.ErrWedged, and
+// Reprogrammed is settled synchronously at dispatch.
+func TestWrapWedgeInterception(t *testing.T) {
+	inner := &stubBackend{reconfig: sim.US, service: 10 * sim.US}
+	tl := &stubTimeline{}
+	be := NewInjector(&Plan{Seed: 1, WedgeProb: 1, WedgeDetect: 9 * sim.US}, 0).Wrap(tl, 0, inner)
+
+	var gotErr error
+	be.Bind(0, func(_ *sched.Job, err error) { gotErr = err })
+	j := &sched.Job{ID: 1}
+	be.Dispatch(j, &sched.App{})
+
+	if len(inner.dispatched) != 0 {
+		t.Fatal("wedged dispatch reached the inner backend")
+	}
+	if !j.Reprogrammed {
+		t.Fatal("wedged attempt did not settle Reprogrammed at dispatch")
+	}
+	if len(tl.delays) != 1 || tl.delays[0] != 9*sim.US {
+		t.Fatalf("detection occupancy %v, want one 9us deferral", tl.delays)
+	}
+	tl.fns[0](tl.args[0]) // detection fires
+	if !errors.Is(gotErr, sched.ErrWedged) {
+		t.Fatalf("completion error %v does not wrap sched.ErrWedged", gotErr)
+	}
+
+	// A placement with no reconfiguration never draws a wedge, even at
+	// probability 1: only reprogram attempts can wedge.
+	inner.reconfig = 0
+	be.Dispatch(&sched.Job{ID: 2}, &sched.App{})
+	if len(inner.dispatched) != 1 {
+		t.Fatal("resident-app dispatch did not pass through")
+	}
+}
+
+// TestWrapBlowupDefersCompletion: a blown-up job completes only after
+// the extra (factor-1) x service occupancy is charged on the timeline.
+func TestWrapBlowupDefersCompletion(t *testing.T) {
+	inner := &stubBackend{service: 10 * sim.US}
+	tl := &stubTimeline{}
+	be := NewInjector(&Plan{Seed: 1, BlowupProb: 1, BlowupFactor: 4}, 0).Wrap(tl, 0, inner)
+
+	var completed bool
+	be.Bind(0, func(*sched.Job, error) { completed = true })
+	be.Dispatch(&sched.Job{ID: 1}, &sched.App{})
+
+	if completed {
+		t.Fatal("blown-up job completed without the extension")
+	}
+	if len(tl.delays) != 1 || tl.delays[0] != 30*sim.US {
+		t.Fatalf("extension %v, want one (4-1)x10us deferral", tl.delays)
+	}
+	tl.fns[0](tl.args[0])
+	if !completed {
+		t.Fatal("deferred completion never reached the scheduler")
+	}
+}

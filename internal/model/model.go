@@ -150,6 +150,16 @@ type Config struct {
 	// Stats only. Cluster shards must leave it false: Merge pools the
 	// raw samples for exact quantiles.
 	DiscardSamples bool
+
+	// Wrap, when set, decorates each backend before the scheduler sees
+	// it — the fault-injection seam (internal/faults plugs in here). It
+	// receives the replica's timeline, the backend's worker index, and
+	// the undecorated backend.
+	Wrap func(tl Timeline, worker int, be sched.Backend) sched.Backend
+	// Faults is the scheduler-side fault configuration (retry budget,
+	// deadline enforcement, downtime windows). The zero value changes
+	// nothing.
+	Faults sched.FaultConfig
 }
 
 // Replica is an analytic serve shard: the real sched.Scheduler over
@@ -191,9 +201,15 @@ func NewReplica(cfg Config) *Replica {
 	for i := 0; i < cfg.SoftCPUs; i++ {
 		backends = append(backends, NewCPU(ev, fmt.Sprintf("cpu%d", i), cfg.CPUSlowdown))
 	}
+	if cfg.Wrap != nil {
+		for i, be := range backends {
+			backends[i] = cfg.Wrap(ev, i, be)
+		}
+	}
 	sch := sched.New(ev, backends, sched.Config{
 		Policy: cfg.Policy, QueueCap: cfg.QueueCap,
 		SettleCycles: cfg.SettleCycles, Stats: cfg.Stats,
+		Faults: cfg.Faults,
 	})
 	return &Replica{ev: ev, sch: sch, discard: cfg.DiscardSamples}
 }

@@ -36,6 +36,20 @@ type Observer interface {
 	// fired at the release instant to. Zero-length intervals (a job
 	// failing at its dispatch instant) are not reported.
 	ObserveBusy(worker int, from, to sim.Time)
+	// ObserveWedge fires when a reprogram wedges (the ProgWedged-class
+	// fault outcome), at the detection instant, before the victim's
+	// retry or retirement.
+	ObserveWedge(at sim.Time, worker int)
+	// ObserveRetry fires when a wedge victim is re-queued within its
+	// retry budget (after its ObserveWedge; the job is not retired).
+	ObserveRetry(at sim.Time)
+	// ObserveTimeout fires when a queued job is dropped past its
+	// deadline under FaultConfig.EnforceDeadlines (before its
+	// ObserveRetire, whose job carries an ErrTimedOut error).
+	ObserveTimeout(at sim.Time)
+	// ObserveQuarantine fires once per worker removed from service by a
+	// wedged reprogram (after the wedge's ObserveWedge).
+	ObserveQuarantine(at sim.Time, worker int)
 }
 
 // SetObserver attaches an observer to the scheduler (nil detaches). Set
@@ -71,5 +85,29 @@ func (s *Scheduler) observeReject(at sim.Time) {
 func (s *Scheduler) observeBusy(w *worker, now sim.Time) {
 	if s.obs != nil && now > w.busyAt {
 		s.obs.ObserveBusy(w.id, w.busyAt, now)
+	}
+}
+
+func (s *Scheduler) observeWedge(at sim.Time, worker int) {
+	if s.obs != nil {
+		s.obs.ObserveWedge(at, worker)
+	}
+}
+
+func (s *Scheduler) observeRetry(at sim.Time) {
+	if s.obs != nil {
+		s.obs.ObserveRetry(at)
+	}
+}
+
+func (s *Scheduler) observeTimeout(at sim.Time) {
+	if s.obs != nil {
+		s.obs.ObserveTimeout(at)
+	}
+}
+
+func (s *Scheduler) observeQuarantine(at sim.Time, worker int) {
+	if s.obs != nil {
+		s.obs.ObserveQuarantine(at, worker)
 	}
 }

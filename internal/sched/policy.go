@@ -133,7 +133,7 @@ func (s *Scheduler) pick(now sim.Time) (*worker, int) {
 	case Affinity:
 		for i, j := range s.queue {
 			for _, w := range idle {
-				if w.be.Resident() == j.App {
+				if s.usable(w) && w.be.Resident() == j.App {
 					return w, i
 				}
 			}
@@ -162,7 +162,7 @@ func (s *Scheduler) pickHybrid(idle []*worker, now sim.Time) (*worker, int) {
 	// Pass 1: bitstream affinity over idle fabric-class workers.
 	for i, j := range s.queue {
 		for _, w := range idle {
-			if w.be.Kind() != BackendCPU && w.be.Resident() == j.App {
+			if !w.quarantined && w.be.Kind() != BackendCPU && w.be.Resident() == j.App {
 				return w, i
 			}
 		}
@@ -171,7 +171,7 @@ func (s *Scheduler) pickHybrid(idle []*worker, now sim.Time) (*worker, int) {
 	for i, j := range s.queue {
 		app := j.app
 		for _, w := range idle {
-			if w.be.Kind() != BackendCPU && app.BS.Res.Fits(w.be.Capacity()) {
+			if !w.quarantined && w.be.Kind() != BackendCPU && app.BS.Res.Fits(w.be.Capacity()) {
 				return w, i
 			}
 		}
@@ -185,7 +185,7 @@ func (s *Scheduler) pickHybrid(idle []*worker, now sim.Time) (*worker, int) {
 	// fits its bitstream at all.
 	var cpu *worker
 	for _, w := range idle {
-		if w.be.Kind() == BackendCPU {
+		if !w.quarantined && w.be.Kind() == BackendCPU {
 			cpu = w
 			break
 		}
@@ -206,7 +206,9 @@ func (s *Scheduler) pickHybrid(idle []*worker, now sim.Time) (*worker, int) {
 		app := j.app
 		best := -1
 		for wi, w := range s.workers {
-			if w.be.Kind() == BackendCPU || !app.BS.Res.Fits(w.be.Capacity()) {
+			// Quarantined fabrics never free up again: they are not a
+			// wait-for option, so the spill decision ignores them.
+			if w.quarantined || w.be.Kind() == BackendCPU || !app.BS.Res.Fits(w.be.Capacity()) {
 				continue
 			}
 			if best == -1 || free[wi] < free[best] {

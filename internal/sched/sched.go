@@ -18,6 +18,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"duet/internal/efpga"
@@ -94,6 +95,7 @@ type Job struct {
 	Finish       sim.Time
 	Fabric       int // worker index the job occupied
 	Reprogrammed bool
+	Retries      int // re-queues after wedged reprograms (see faults.go)
 	Err          error
 
 	// app caches the catalog entry resolved at submission, so queue
@@ -126,14 +128,18 @@ type Config struct {
 	// per-job ledgers for exact percentiles; StatsStreaming folds jobs
 	// into fixed-memory aggregates for serve-scale runs (see stats.go).
 	Stats StatsMode
+	// Faults configures retry budgets, deadline enforcement and shard
+	// outage windows; the zero value adds no behavior (see faults.go).
+	Faults FaultConfig
 }
 
 // worker tracks one execution backend and its accumulated stats.
 type worker struct {
-	id     int
-	be     Backend
-	busy   bool
-	busyAt sim.Time
+	id          int
+	be          Backend
+	busy        bool
+	quarantined bool // wedged mid-reprogram; never placed on again
+	busyAt      sim.Time
 	// estFree is the analytic estimate of when the worker frees up,
 	// charged at dispatch from the backend's reconfig + service model —
 	// what the hybrid policy weighs CPU spill against.
@@ -153,6 +159,19 @@ type Scheduler struct {
 	workers []*worker
 	queue   []*Job
 	nextID  int
+
+	// Downtime state machine (see faults.go): down is true while the
+	// shard is inside Faults.Down[downIdx]; both advance lazily at
+	// activity instants through syncFaults.
+	downIdx int
+	down    bool
+
+	// Fault counters (see faults.go and Stats).
+	wedges       int
+	retries      int
+	timedOut     int
+	unavailable  int
+	nQuarantined int
 
 	// hasFabric records whether any worker is fabric-class: when true,
 	// the classic policies never place on CPU soft-path workers — those
@@ -215,9 +234,13 @@ func New(tl Timeline, backends []Backend, cfg Config) *Scheduler {
 }
 
 // usable reports whether the configured policy may place jobs on worker
-// w: CPU soft-path workers are spill capacity only — reserved for the
-// Hybrid policy whenever fabric-class workers exist.
+// w: quarantined workers never take another placement, and CPU soft-path
+// workers are spill capacity only — reserved for the Hybrid policy
+// whenever fabric-class workers exist.
 func (s *Scheduler) usable(w *worker) bool {
+	if w.quarantined {
+		return false
+	}
 	return s.cfg.Policy == Hybrid || !s.hasFabric || w.be.Kind() != BackendCPU
 }
 
@@ -283,6 +306,14 @@ func (s *Scheduler) Submit(j *Job) bool {
 	j.ID = s.nextID
 	now := s.tl.Now()
 	j.Submit = now
+	s.syncFaults(now)
+	if s.down {
+		s.observeArrival(now, len(s.queue))
+		j.Err = fmt.Errorf("sched: submission refused, shard down: %w", ErrUnavailable)
+		j.Finish = now // dies at submit: zero-length lifetime
+		s.retire(j)
+		return false
+	}
 	app, ok := s.apps[j.App]
 	if !ok {
 		s.observeArrival(now, len(s.queue))
@@ -292,16 +323,26 @@ func (s *Scheduler) Submit(j *Job) bool {
 		return false
 	}
 	j.app = app
-	fits := false
+	fits, fitsQuarantined := false, false
 	for _, w := range s.workers {
-		if s.usable(w) && app.BS.Res.Fits(w.be.Capacity()) {
+		if !app.BS.Res.Fits(w.be.Capacity()) {
+			continue
+		}
+		if s.usable(w) {
 			fits = true
 			break
+		}
+		if w.quarantined {
+			fitsQuarantined = true
 		}
 	}
 	if !fits {
 		s.observeArrival(now, len(s.queue))
-		j.Err = fmt.Errorf("sched: bitstream %q (%+v) exceeds every worker's capacity", j.App, app.BS.Res)
+		if fitsQuarantined {
+			j.Err = fmt.Errorf("sched: every fitting worker quarantined: %w", ErrUnavailable)
+		} else {
+			j.Err = fmt.Errorf("sched: bitstream %q (%+v) exceeds every worker's capacity", j.App, app.BS.Res)
+		}
 		j.Finish = now // dies at submit: zero-length lifetime
 		s.retire(j)
 		return false
@@ -322,6 +363,12 @@ func (s *Scheduler) Submit(j *Job) bool {
 // per iteration, until the policy finds nothing placeable. now is the
 // current instant (timeline reads are hoisted to the dispatch roots).
 func (s *Scheduler) dispatch(now sim.Time) {
+	if s.cfg.Faults.EnforceDeadlines {
+		s.purgeExpired(now)
+	}
+	if s.down {
+		return
+	}
 	for {
 		w, qi := s.pick(now)
 		if w == nil {
@@ -356,6 +403,11 @@ func (s *Scheduler) place(w *worker, j *Job, now sim.Time) {
 func (s *Scheduler) complete(j *Job, err error) {
 	w := s.workers[j.Fabric]
 	now := s.tl.Now()
+	s.syncFaults(now)
+	if err != nil && errors.Is(err, ErrWedged) {
+		s.completeWedged(w, j, err, now)
+		return
+	}
 	j.Finish = now
 	if err != nil {
 		j.Err = err
@@ -382,6 +434,17 @@ func (s *Scheduler) retire(j *Job) {
 		s.Failed = append(s.Failed, j)
 	} else {
 		s.Completed = append(s.Completed, j)
+	}
+	// Failure sub-class counters (Failed stays the total): a distinct
+	// timed-out outcome, and the unavailable class covering shard-outage
+	// and full-quarantine kills.
+	if j.Err != nil {
+		switch {
+		case errors.Is(j.Err, ErrTimedOut):
+			s.timedOut++
+		case errors.Is(j.Err, ErrUnavailable):
+			s.unavailable++
+		}
 	}
 	if s.OnResult != nil {
 		s.OnResult(j)

@@ -89,6 +89,18 @@ type Stats struct {
 	Reconfigs                   int
 	DeadlineMisses              int
 
+	// Fault outcomes (zero on fault-free runs; see faults.go). TimedOut
+	// and Unavailable are sub-classes of Failed — queued jobs dropped
+	// past their deadline, and jobs killed or refused by shard outages
+	// or full quarantine. Wedges counts wedged reprogram attempts,
+	// Retries the victim re-queues they triggered, and Quarantined the
+	// workers lost to them.
+	TimedOut    int
+	Unavailable int
+	Wedges      int
+	Retries     int
+	Quarantined int
+
 	Makespan        sim.Time // latest completion instant
 	ThroughputPerMS float64  // completed jobs per simulated millisecond
 
@@ -177,8 +189,14 @@ func (s *Scheduler) Stats() Stats {
 	return s.fabricStats(st)
 }
 
-// fabricStats fills the per-worker tail of a run summary.
+// fabricStats fills the per-worker tail of a run summary, plus the
+// scheduler-resident fault counters (shared by both aggregation modes).
 func (s *Scheduler) fabricStats(st Stats) Stats {
+	st.TimedOut = s.timedOut
+	st.Unavailable = s.unavailable
+	st.Wedges = s.wedges
+	st.Retries = s.retries
+	st.Quarantined = s.nQuarantined
 	for _, w := range s.workers {
 		fs := FabricStats{
 			Name: w.be.Name(), Jobs: w.jobs, Reconfigs: w.reconfigs, Busy: w.busyTotal,

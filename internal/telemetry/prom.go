@@ -67,6 +67,11 @@ func WriteProm(w io.Writer, ns string, r *Recorder) error {
 		{"rejects_total", "Jobs bounced by the full admission queue.", s.Rejects},
 		{"reprograms_total", "Fabric reconfigurations triggered by placement.", s.Reprograms},
 		{"spills_total", "Jobs spilled to the CPU soft path.", s.Spills},
+		{"wedges_total", "Reprograms that wedged (fabric quarantined).", s.Wedges},
+		{"retries_total", "Wedge-victim jobs re-queued within their retry budget.", s.Retries},
+		{"timeouts_total", "Queued jobs dropped past their deadline.", s.Timeouts},
+		{"quarantines_total", "Workers removed from service by wedged reprograms.", s.Quarantines},
+		{"goodput_total", "Completions that met their deadline.", s.Goodput},
 	}
 	for _, c := range counters {
 		name := ns + "_" + c.name

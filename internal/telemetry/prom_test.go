@@ -46,6 +46,21 @@ duetsim_reprograms_total 1
 # HELP duetsim_spills_total Jobs spilled to the CPU soft path.
 # TYPE duetsim_spills_total counter
 duetsim_spills_total 1
+# HELP duetsim_wedges_total Reprograms that wedged (fabric quarantined).
+# TYPE duetsim_wedges_total counter
+duetsim_wedges_total 0
+# HELP duetsim_retries_total Wedge-victim jobs re-queued within their retry budget.
+# TYPE duetsim_retries_total counter
+duetsim_retries_total 0
+# HELP duetsim_timeouts_total Queued jobs dropped past their deadline.
+# TYPE duetsim_timeouts_total counter
+duetsim_timeouts_total 0
+# HELP duetsim_quarantines_total Workers removed from service by wedged reprograms.
+# TYPE duetsim_quarantines_total counter
+duetsim_quarantines_total 0
+# HELP duetsim_goodput_total Completions that met their deadline.
+# TYPE duetsim_goodput_total counter
+duetsim_goodput_total 2
 # HELP duetsim_queue_depth_max Run-wide admission-queue high-water mark.
 # TYPE duetsim_queue_depth_max gauge
 duetsim_queue_depth_max 2

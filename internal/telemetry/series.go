@@ -17,22 +17,32 @@ import (
 // (and JSON key) order is part of the determinism contract: the CI
 // windows-determinism job diffs these bytes across study-pool widths.
 type WindowRow struct {
-	Window      int        `json:"window"`
-	Start       sim.Time   `json:"start"`
-	End         sim.Time   `json:"end"`
-	Arrivals    int        `json:"arrivals"`
-	Completions int        `json:"completions"`
-	Failures    int        `json:"failures"`
-	Rejects     int        `json:"rejects"`
-	Reprograms  int        `json:"reprograms"`
-	Spills      int        `json:"spills"`
-	QueueMax    int        `json:"queue_max"`
-	Busy        []sim.Time `json:"busy_per_worker"`
-	BusyCPU     sim.Time   `json:"busy_cpu"`
-	BusyTotal   sim.Time   `json:"busy_total"`
-	Utilization float64    `json:"utilization"`
-	P50         sim.Time   `json:"p50"`
-	P99         sim.Time   `json:"p99"`
+	Window      int      `json:"window"`
+	Start       sim.Time `json:"start"`
+	End         sim.Time `json:"end"`
+	Arrivals    int      `json:"arrivals"`
+	Completions int      `json:"completions"`
+	Failures    int      `json:"failures"`
+	Rejects     int      `json:"rejects"`
+	Reprograms  int      `json:"reprograms"`
+	Spills      int      `json:"spills"`
+	// Fault-path counters (see sched/faults.go) and the goodput split:
+	// Goodput is the completions that met their deadline, DeadlineMisses
+	// the ones that did not. All omit when zero, so a fault-free run's
+	// series keeps its pre-fault shape.
+	Wedges         int        `json:"wedges,omitempty"`
+	Retries        int        `json:"retries,omitempty"`
+	Timeouts       int        `json:"timeouts,omitempty"`
+	Quarantines    int        `json:"quarantines,omitempty"`
+	DeadlineMisses int        `json:"deadline_misses,omitempty"`
+	Goodput        int        `json:"goodput,omitempty"`
+	QueueMax       int        `json:"queue_max"`
+	Busy           []sim.Time `json:"busy_per_worker"`
+	BusyCPU        sim.Time   `json:"busy_cpu"`
+	BusyTotal      sim.Time   `json:"busy_total"`
+	Utilization    float64    `json:"utilization"`
+	P50            sim.Time   `json:"p50"`
+	P99            sim.Time   `json:"p99"`
 }
 
 // Series snapshots the recorder as one row per window, in window order
@@ -61,19 +71,25 @@ func (r *Recorder) Series() []WindowRow {
 			}
 		}
 		row := WindowRow{
-			Window:      i,
-			Start:       sim.Time(i) * r.width,
-			End:         end,
-			Arrivals:    w.arrivals,
-			Completions: w.completions,
-			Failures:    w.failures,
-			Rejects:     w.rejects,
-			Reprograms:  w.reprograms,
-			Spills:      w.spills,
-			QueueMax:    w.queueMax,
-			Busy:        make([]sim.Time, len(r.kinds)),
-			P50:         w.sojourns.Quantile(50),
-			P99:         w.sojourns.Quantile(99),
+			Window:         i,
+			Start:          sim.Time(i) * r.width,
+			End:            end,
+			Arrivals:       w.arrivals,
+			Completions:    w.completions,
+			Failures:       w.failures,
+			Rejects:        w.rejects,
+			Reprograms:     w.reprograms,
+			Spills:         w.spills,
+			Wedges:         w.wedges,
+			Retries:        w.retries,
+			Timeouts:       w.timeouts,
+			Quarantines:    w.quarantines,
+			DeadlineMisses: w.misses,
+			Goodput:        w.completions - w.misses,
+			QueueMax:       w.queueMax,
+			Busy:           make([]sim.Time, len(r.kinds)),
+			P50:            w.sojourns.Quantile(50),
+			P99:            w.sojourns.Quantile(99),
 		}
 		copy(row.Busy, w.busy)
 		for k, b := range row.Busy {
@@ -99,7 +115,14 @@ type Summary struct {
 	Width   sim.Time
 
 	Arrivals, Completions, Failures, Rejects, Reprograms, Spills int
+	Wedges, Retries, Timeouts, Quarantines                       int
+	DeadlineMisses, Goodput                                      int
 	QueueMax                                                     int
+
+	// Availability is the served fraction of offered work — completions
+	// over arrivals (1 when nothing was offered); Goodput above narrows
+	// it to completions that also met their deadline.
+	Availability float64
 
 	MeanUtilization float64
 	PeakUtilization float64
@@ -128,6 +151,12 @@ func Summarize(rows []WindowRow) Summary {
 		s.Rejects += r.Rejects
 		s.Reprograms += r.Reprograms
 		s.Spills += r.Spills
+		s.Wedges += r.Wedges
+		s.Retries += r.Retries
+		s.Timeouts += r.Timeouts
+		s.Quarantines += r.Quarantines
+		s.DeadlineMisses += r.DeadlineMisses
+		s.Goodput += r.Goodput
 		if r.QueueMax > s.QueueMax {
 			s.QueueMax = r.QueueMax
 		}
@@ -146,12 +175,16 @@ func Summarize(rows []WindowRow) Summary {
 		}
 	}
 	s.MeanUtilization /= float64(len(rows))
+	s.Availability = 1
+	if s.Arrivals > 0 {
+		s.Availability = float64(s.Completions) / float64(s.Arrivals)
+	}
 	return s
 }
 
 // CSVHeader is the column order of the CSV series form. The per-worker
 // busy vector is JSON-only; CSV carries the totals.
-const CSVHeader = "window,start,end,arrivals,completions,failures,rejects,reprograms,spills,queue_max,busy_cpu,busy_total,utilization,p50,p99"
+const CSVHeader = "window,start,end,arrivals,completions,failures,rejects,reprograms,spills,wedges,retries,timeouts,quarantines,deadline_misses,goodput,queue_max,busy_cpu,busy_total,utilization,p50,p99"
 
 // formatFloat renders a float shortest-round-trip — byte-stable for
 // equal values, the same contract encoding/json gives the JSON form.
@@ -163,9 +196,10 @@ func WriteCSV(w io.Writer, rows []WindowRow) error {
 		return err
 	}
 	for _, r := range rows {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
 			r.Window, int64(r.Start), int64(r.End), r.Arrivals, r.Completions, r.Failures,
-			r.Rejects, r.Reprograms, r.Spills, r.QueueMax, int64(r.BusyCPU), int64(r.BusyTotal),
+			r.Rejects, r.Reprograms, r.Spills, r.Wedges, r.Retries, r.Timeouts, r.Quarantines,
+			r.DeadlineMisses, r.Goodput, r.QueueMax, int64(r.BusyCPU), int64(r.BusyTotal),
 			formatFloat(r.Utilization), int64(r.P50), int64(r.P99))
 		if err != nil {
 			return err
@@ -187,8 +221,8 @@ func ParseCSV(data string) ([]WindowRow, error) {
 			continue
 		}
 		f := strings.Split(line, ",")
-		if len(f) != 15 {
-			return nil, fmt.Errorf("telemetry: CSV line %d has %d fields, want 15", ln+2, len(f))
+		if len(f) != 21 {
+			return nil, fmt.Errorf("telemetry: CSV line %d has %d fields, want 21", ln+2, len(f))
 		}
 		var r WindowRow
 		var err error
@@ -198,7 +232,9 @@ func ParseCSV(data string) ([]WindowRow, error) {
 		}{
 			{&r.Window, f[0]}, {&r.Arrivals, f[3]}, {&r.Completions, f[4]},
 			{&r.Failures, f[5]}, {&r.Rejects, f[6]}, {&r.Reprograms, f[7]},
-			{&r.Spills, f[8]}, {&r.QueueMax, f[9]},
+			{&r.Spills, f[8]}, {&r.Wedges, f[9]}, {&r.Retries, f[10]},
+			{&r.Timeouts, f[11]}, {&r.Quarantines, f[12]}, {&r.DeadlineMisses, f[13]},
+			{&r.Goodput, f[14]}, {&r.QueueMax, f[15]},
 		}
 		for _, c := range ints {
 			if *c.dst, err = strconv.Atoi(c.src); err != nil {
@@ -209,8 +245,8 @@ func ParseCSV(data string) ([]WindowRow, error) {
 			dst *sim.Time
 			src string
 		}{
-			{&r.Start, f[1]}, {&r.End, f[2]}, {&r.BusyCPU, f[10]},
-			{&r.BusyTotal, f[11]}, {&r.P50, f[13]}, {&r.P99, f[14]},
+			{&r.Start, f[1]}, {&r.End, f[2]}, {&r.BusyCPU, f[16]},
+			{&r.BusyTotal, f[17]}, {&r.P50, f[19]}, {&r.P99, f[20]},
 		}
 		for _, c := range times {
 			v, err := strconv.ParseInt(c.src, 10, 64)
@@ -219,7 +255,7 @@ func ParseCSV(data string) ([]WindowRow, error) {
 			}
 			*c.dst = sim.Time(v)
 		}
-		if r.Utilization, err = strconv.ParseFloat(f[12], 64); err != nil {
+		if r.Utilization, err = strconv.ParseFloat(f[18], 64); err != nil {
 			return nil, fmt.Errorf("telemetry: CSV line %d: %w", ln+2, err)
 		}
 		rows = append(rows, r)

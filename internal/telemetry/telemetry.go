@@ -71,6 +71,11 @@ type window struct {
 	rejects     int
 	reprograms  int
 	spills      int
+	wedges      int
+	retries     int
+	timeouts    int
+	quarantines int
+	misses      int // completions past their deadline (goodput = completions - misses)
 	queueMax    int
 	busy        []sim.Time // per worker, indexed like kinds
 	sojourns    sched.Digest
@@ -188,7 +193,9 @@ func (r *Recorder) ObserveDispatch(at sim.Time, worker int, kind sched.BackendKi
 
 // ObserveRetire counts the job in its finish window and folds its
 // sojourn into that window's digest (failures are counted but
-// contribute no sojourn sample, matching sched.Stats).
+// contribute no sojourn sample, matching sched.Stats). Completions past
+// their deadline are additionally counted as misses, so the series
+// carries per-window goodput — the availability signal under faults.
 func (r *Recorder) ObserveRetire(j *sched.Job) {
 	w := r.win(j.Finish)
 	r.note(j.Finish)
@@ -197,6 +204,9 @@ func (r *Recorder) ObserveRetire(j *sched.Job) {
 		return
 	}
 	w.completions++
+	if j.MissedDeadline() {
+		w.misses++
+	}
 	w.sojourns.Add(j.Sojourn())
 }
 
@@ -217,6 +227,31 @@ func (r *Recorder) ObserveBusy(worker int, from, to sim.Time) {
 		w.busy[worker] += end - from
 		from = end
 	}
+}
+
+// ObserveWedge counts a wedged reprogram in its detection window.
+func (r *Recorder) ObserveWedge(at sim.Time, worker int) {
+	r.win(at).wedges++
+	r.note(at)
+}
+
+// ObserveRetry counts a wedge-victim re-queue in its window.
+func (r *Recorder) ObserveRetry(at sim.Time) {
+	r.win(at).retries++
+	r.note(at)
+}
+
+// ObserveTimeout counts a deadline-dropped queued job in its window.
+func (r *Recorder) ObserveTimeout(at sim.Time) {
+	r.win(at).timeouts++
+	r.note(at)
+}
+
+// ObserveQuarantine counts a worker lost to a wedged reprogram in the
+// window it was quarantined in.
+func (r *Recorder) ObserveQuarantine(at sim.Time, worker int) {
+	r.win(at).quarantines++
+	r.note(at)
 }
 
 // Merge combines per-shard recorders into one fresh cluster-wide
@@ -268,6 +303,11 @@ func Merge(rs ...*Recorder) (*Recorder, error) {
 			dst.rejects += src.rejects
 			dst.reprograms += src.reprograms
 			dst.spills += src.spills
+			dst.wedges += src.wedges
+			dst.retries += src.retries
+			dst.timeouts += src.timeouts
+			dst.quarantines += src.quarantines
+			dst.misses += src.misses
 			if src.queueMax > dst.queueMax {
 				dst.queueMax = src.queueMax
 			}

@@ -9,6 +9,7 @@ import (
 	"duet/internal/accel"
 	"duet/internal/cluster"
 	"duet/internal/efpga"
+	"duet/internal/faults"
 	"duet/internal/model"
 	"duet/internal/sched"
 	"duet/internal/sim"
@@ -91,6 +92,13 @@ type ServeConfig struct {
 	// CPUSlowdown calibrates the soft path (defaults to
 	// model.DefaultCPUSlowdown, the paper's Fig. 12 geomean speedup).
 	CPUSlowdown float64
+
+	// Faults, when non-nil, is the run's deterministic fault plan: the
+	// backend wrappers and scheduler fault config are installed on every
+	// replica (internal/faults). A non-nil but empty plan still installs
+	// the injection seam — inert, which is what the fault-free overhead
+	// benchmark measures. Nil leaves the stack exactly as before.
+	Faults *faults.Plan
 
 	// Windows, when positive, turns on the windowed flight recorder:
 	// the arrival stream's span is divided into Windows fixed-width
@@ -181,20 +189,33 @@ func registerServeApps(sch *sched.Scheduler) error {
 
 // newServeReplica builds one serve replica for cfg's backend mode:
 // a cycle-level Dolly instance, the analytic model replica, or a hybrid
-// Dolly + CPU-soft-path pool. cfg must have defaults applied. checked
-// selects RunChecked (coherence validation) for engine-backed replicas;
-// harvest keeps the exact-mode per-job samples (cluster shards need
-// them for exact merged quantiles; single-replica Serve reads Stats
-// only and skips the duplicate O(jobs) copy). windowWidth, when
-// positive, attaches a flight recorder over windows of that width —
-// every shard of one run must get the same width so its series merge.
-func newServeReplica(cfg ServeConfig, checked, harvest bool, windowWidth sim.Time) (cluster.Replica, error) {
+// Dolly + CPU-soft-path pool. cfg must have defaults applied. shard is
+// the replica's cluster shard index (0 for single-replica runs) — the
+// fault plan's draw site and outage-schedule key. checked selects
+// RunChecked (coherence validation) for engine-backed replicas; harvest
+// keeps the exact-mode per-job samples (cluster shards need them for
+// exact merged quantiles; single-replica Serve reads Stats only and
+// skips the duplicate O(jobs) copy). windowWidth, when positive,
+// attaches a flight recorder over windows of that width — every shard
+// of one run must get the same width so its series merge.
+func newServeReplica(cfg ServeConfig, shard int, checked, harvest bool, windowWidth sim.Time) (cluster.Replica, error) {
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.NewInjector(cfg.Faults, shard)
+	}
 	if cfg.Backend == BackendModel {
-		rep := model.NewReplica(model.Config{
+		mcfg := model.Config{
 			EFPGAs: cfg.EFPGAs, SoftCPUs: cfg.SoftCPUs, MemHubs: cfg.MemHubs,
 			Policy: cfg.Policy, QueueCap: cfg.QueueCap, Stats: cfg.Stats,
 			CPUSlowdown: cfg.CPUSlowdown, DiscardSamples: !harvest,
-		})
+		}
+		if inj != nil {
+			mcfg.Wrap = func(tl model.Timeline, worker int, be sched.Backend) sched.Backend {
+				return inj.Wrap(tl, worker, be)
+			}
+			mcfg.Faults = cfg.Faults.FaultConfig(shard)
+		}
+		rep := model.NewReplica(mcfg)
 		if err := registerServeApps(rep.Scheduler()); err != nil {
 			return nil, err
 		}
@@ -212,9 +233,17 @@ func newServeReplica(cfg ServeConfig, checked, harvest bool, windowWidth sim.Tim
 			soft = append(soft, model.NewCPU(sys.Eng, fmt.Sprintf("cpu%d", i), cfg.CPUSlowdown))
 		}
 	}
-	sch := sys.SchedulerWith(sched.Config{
+	scfg := sched.Config{
 		Policy: cfg.Policy, QueueCap: cfg.QueueCap, Stats: cfg.Stats,
-	}, soft...)
+	}
+	var wrap func(worker int, be sched.Backend) sched.Backend
+	if inj != nil {
+		scfg.Faults = cfg.Faults.FaultConfig(shard)
+		wrap = func(worker int, be sched.Backend) sched.Backend {
+			return inj.Wrap(sys.Eng, worker, be)
+		}
+	}
+	sch := sys.SchedulerWrapped(scfg, wrap, soft...)
 	if err := registerServeApps(sch); err != nil {
 		return nil, err
 	}
@@ -287,7 +316,7 @@ func serveArrivals(cfg ServeConfig) []cluster.Arrival {
 func Serve(cfg ServeConfig) ServeResult {
 	cfg = cfg.withDefaults()
 	stream := serveArrivals(cfg)
-	rep, err := newServeReplica(cfg, false, false, windowWidth(stream, cfg.Windows))
+	rep, err := newServeReplica(cfg, 0, false, false, windowWidth(stream, cfg.Windows))
 	if err != nil {
 		panic(err)
 	}

@@ -60,6 +60,12 @@ type ClusterResult struct {
 	Merged   sched.Stats // exact-quantile merge across shards
 	PerShard []cluster.ShardResult
 
+	// Rerouted and Hedged count the front end's fault-pass actions
+	// (zero without a fault plan; omitted from JSON to keep fault-free
+	// study output byte-identical to earlier releases).
+	Rerouted int `json:",omitempty"`
+	Hedged   int `json:",omitempty"`
+
 	// Windows is the cluster-wide flight-recorder series (nil unless
 	// ServeConfig.Windows > 0): per-shard recorders merged exactly in
 	// shard order, then snapshotted one row per window.
@@ -107,7 +113,7 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 	// One width for every shard, derived from the shared stream, so the
 	// per-shard window series align index for index in the merge.
 	width := windowWidth(stream, cfg.Windows)
-	res, err := cluster.Run(cluster.Config{
+	ccfg := cluster.Config{
 		Shards:   cfg.Shards,
 		FrontEnd: cfg.FrontEnd,
 		Seed:     cfg.Seed,
@@ -115,9 +121,13 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 		// pre-generated, accelerators are inert stubs), so the derived
 		// per-shard seed is accepted but unused.
 		NewReplica: func(shard int, seed int64) (cluster.Replica, error) {
-			return newServeReplica(cfg.shardConfig(shard), true, true, width)
+			return newServeReplica(cfg.shardConfig(shard), shard, true, true, width)
 		},
-	}, stream)
+	}
+	if cfg.Faults != nil {
+		ccfg.Faults = &cluster.FaultSpec{ShardDown: cfg.Faults.ShardDown, Hedge: cfg.Faults.Hedge}
+	}
+	res, err := cluster.Run(ccfg, stream)
 	if err != nil {
 		return ClusterResult{}, err
 	}
@@ -129,6 +139,8 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 		Offered:  res.Offered,
 		Merged:   res.Merged,
 		PerShard: res.PerShard,
+		Rerouted: res.Rerouted,
+		Hedged:   res.Hedged,
 	}
 	if res.Windows != nil {
 		cr.Windows = res.Windows.Series()

@@ -36,8 +36,9 @@ type XValRow struct {
 	P50RelErr float64
 	P99RelErr float64
 	// CountersMatch reports whether the job-accounting counters —
-	// completed, failed, rejected, reconfigs, deadline misses, makespan —
-	// agree exactly.
+	// completed, failed, rejected, reconfigs, deadline misses, makespan,
+	// and the fault-path counters (wedges, retries, quarantines,
+	// timeouts, unavailable) — agree exactly.
 	CountersMatch bool
 }
 
@@ -83,7 +84,12 @@ func CrossValidate(parallel int, cfgs []ServeConfig) []XValRow {
 				cy.Rejected == md.Rejected &&
 				cy.Reconfigs == md.Reconfigs &&
 				cy.DeadlineMisses == md.DeadlineMisses &&
-				cy.Makespan == md.Makespan,
+				cy.Makespan == md.Makespan &&
+				cy.TimedOut == md.TimedOut &&
+				cy.Unavailable == md.Unavailable &&
+				cy.Wedges == md.Wedges &&
+				cy.Retries == md.Retries &&
+				cy.Quarantined == md.Quarantined,
 		}
 	}
 	return rows

@@ -272,9 +272,23 @@ func (s *System) Scheduler(cfg sched.Config) *sched.Scheduler {
 // on first use only; extra backends must schedule on this system's
 // engine.
 func (s *System) SchedulerWith(cfg sched.Config, extra ...sched.Backend) *sched.Scheduler {
+	return s.SchedulerWrapped(cfg, nil, extra...)
+}
+
+// SchedulerWrapped is SchedulerWith with a backend decorator applied to
+// every worker (cycle eFPGA workers and extras alike) before the
+// scheduler sees them — the cycle-path fault-injection seam, mirroring
+// model.Config.Wrap so both backends fail identically under one fault
+// plan. A nil wrap is the identity.
+func (s *System) SchedulerWrapped(cfg sched.Config, wrap func(worker int, be sched.Backend) sched.Backend, extra ...sched.Backend) *sched.Scheduler {
 	if s.scheduler == nil {
-		backends := sched.CycleBackends(s.Eng, s.Adapters, s.Fabrics)
-		s.scheduler = sched.New(s.Eng, append(backends, extra...), cfg)
+		backends := append(sched.CycleBackends(s.Eng, s.Adapters, s.Fabrics), extra...)
+		if wrap != nil {
+			for i, be := range backends {
+				backends[i] = wrap(i, be)
+			}
+		}
+		s.scheduler = sched.New(s.Eng, backends, cfg)
 	}
 	return s.scheduler
 }
