@@ -362,6 +362,34 @@ func BenchmarkServeFaultFree(b *testing.B) {
 	}
 }
 
+// BenchmarkServeRecovery is the repair-path cost run: the 1M-job
+// model-backend study under a live wedge/repair cycle — fabrics wedge,
+// quarantine, and return on probation throughout the run. Its snapshot
+// entry gates the recovery machinery (repair scheduling, scrub,
+// probationary reprogram, quarantine bookkeeping) with the same >30%
+// regression check the fault-free seam gets.
+func BenchmarkServeRecovery(b *testing.B) {
+	cfg := serveStream1MConfig(workload.BackendModel)
+	cfg.Faults = &faults.Plan{
+		Seed: 1, WedgeProb: 0.002, MaxRetries: 2,
+		RepairDelay: 500 * sim.US,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		stream := workload.Arrivals(cfg.ServeConfig)
+		runtime.GC()
+		b.StartTimer()
+		r, err := workload.ServeClusterOver(cfg, stream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Merged.Wedges == 0 || r.Merged.Repairs == 0 {
+			b.Fatalf("recovery plan exercised nothing: %+v", r.Merged)
+		}
+	}
+}
+
 // BenchmarkAblation_BFSLockDiscipline compares the BFS baseline's naive
 // test-and-set lock against an MCS queue lock: the Duet speedup shrinks
 // when the baseline synchronizes better, isolating how much of the win

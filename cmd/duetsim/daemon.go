@@ -32,10 +32,15 @@ type daemonOpts struct {
 	// Fault-injection knobs (see internal/faults): a nonzero wedge
 	// probability installs a seeded fault plan below the backend seam,
 	// so a live daemon can rehearse degraded operation — /healthz flips
-	// to degraded/down and /metrics carries the fault counters.
-	wedgeProb float64
-	retries   int
-	faultSeed int64
+	// to degraded/down and /metrics carries the fault counters. A
+	// repair delay (simulated µs) makes quarantine transient, and a
+	// domain spec (faults.ParseDomains syntax) adds correlated
+	// rack/power outages.
+	wedgeProb     float64
+	retries       int
+	faultSeed     int64
+	repairDelayUS int64
+	domains       string
 }
 
 // daemonCmd boots the HTTP ingest server and blocks until SIGINT/SIGTERM
@@ -47,8 +52,18 @@ func daemonCmd(o daemonOpts) error {
 		return err
 	}
 	var plan *faults.Plan
-	if o.wedgeProb > 0 {
-		plan = &faults.Plan{Seed: o.faultSeed, WedgeProb: o.wedgeProb, MaxRetries: o.retries}
+	if o.wedgeProb > 0 || o.repairDelayUS > 0 || strings.TrimSpace(o.domains) != "" {
+		plan = &faults.Plan{
+			Seed: o.faultSeed, WedgeProb: o.wedgeProb, MaxRetries: o.retries,
+			RepairDelay: sim.Time(o.repairDelayUS) * sim.US,
+		}
+		if strings.TrimSpace(o.domains) != "" {
+			doms, err := faults.ParseDomains(o.domains)
+			if err != nil {
+				return err
+			}
+			plan.Domains = doms
+		}
 	}
 	srv, err := daemon.NewServer(daemon.Config{
 		Backend:        o.backend,
@@ -150,8 +165,8 @@ func loadgenCmd(o loadgenOpts) error {
 		return nil
 	}
 	header(fmt.Sprintf("Loadgen: %s loop against %s (%v)", rep.Mode, o.target, rep.Elapsed.Round(time.Millisecond)))
-	fmt.Printf("  sent %d: %d completed, %d failed, %d queue-rejected (429), %d unavailable (503), %d errors\n",
-		rep.Sent, rep.Completed, rep.Failed, rep.Rejected429, rep.Unavailable503, rep.OtherErrors)
+	fmt.Printf("  sent %d: %d completed, %d failed, %d queue-rejected (429), %d unavailable (503), %d errors, %d retried\n",
+		rep.Sent, rep.Completed, rep.Failed, rep.Rejected429, rep.Unavailable503, rep.OtherErrors, rep.Retried)
 	fmt.Printf("  throughput %.1f jobs/s\n", rep.ThroughputHz)
 	if rep.Completed > 0 {
 		fmt.Printf("  wall latency mean %v, p50 %v, p95 %v, p99 %v\n",

@@ -51,6 +51,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +59,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -66,6 +68,7 @@ import (
 	"duet/internal/apps"
 	"duet/internal/area"
 	"duet/internal/cluster"
+	"duet/internal/faults"
 	"duet/internal/sched"
 	"duet/internal/sim"
 	"duet/internal/telemetry"
@@ -84,7 +87,8 @@ func main() {
 	backend := flag.String("backend", "cycle", "serve/cluster execution backend: cycle (Dolly instance), model (analytic fast path), hybrid (cycle + CPU soft-path spill)")
 	softCPUs := flag.Int("softcpus", 0, "serve/cluster: CPU soft-path workers per replica (hybrid backend defaults to 1)")
 	windows := flag.Int("windows", 0, "serve/cluster: record a flight-recorder series over N simulated-time windows (0 = off)")
-	scenario := flag.String("scenario", "all", "chaos: named fault scenario (wedge-storm|shard-crash-rejoin|deadline-burst|all)")
+	scenario := flag.String("scenario", "all", "chaos: named fault scenario (see chaos -list) or all")
+	chaosList := flag.Bool("list", false, "chaos: print the named scenarios and exit")
 	outPath := flag.String("out", "", "redirect stdout to `file` (report reads such files back with -in)")
 	inPath := flag.String("in", "", "report: load the series from `file` (default stdin)")
 	csvOut := flag.Bool("csv", false, "report: re-emit the loaded series as CSV instead of tables")
@@ -100,6 +104,8 @@ func main() {
 	wedgeProb := flag.Float64("wedgeprob", 0, "daemon: per-reprogram wedge probability (0 = no fault plan)")
 	retries := flag.Int("retries", 2, "daemon: retry budget for wedge victims (with -wedgeprob)")
 	faultSeed := flag.Int64("faultseed", 1, "daemon: fault-plan seed (with -wedgeprob)")
+	repairDelay := flag.Int64("repairdelay", 0, "chaos/daemon: repair wedged fabrics after ~N simulated microseconds, with backoff (0 = quarantine is permanent)")
+	domainsSpec := flag.String("domains", "", "chaos/daemon: correlated failure domains, e.g. 'rack0=0+1@4000-9000;feedA=2@1000-2000~0.8'")
 	target := flag.String("target", "http://localhost:8080", "loadgen: daemon base URL")
 	lgMode := flag.String("mode", "closed", "loadgen: closed (lockstep workers) or open (paced arrivals)")
 	concurrency := flag.Int("concurrency", 8, "loadgen: closed-loop workers / open-loop in-flight cap")
@@ -226,6 +232,7 @@ loop:
 				policy: *policy, queueCap: *queueCap, maxInflight: *maxInflight,
 				timescale: *timescale, windowMS: *windowMS,
 				wedgeProb: *wedgeProb, retries: *retries, faultSeed: *faultSeed,
+				repairDelayUS: *repairDelay, domains: *domainsSpec,
 			}); err != nil {
 				fmt.Fprintf(os.Stderr, "daemon: %v\n", err)
 				code = 1
@@ -247,9 +254,12 @@ loop:
 				break loop
 			}
 		case "chaos":
-			if err := chaosCmd(*parallel, *scenario, beMode, *jsonOut); err != nil {
+			if err := chaosCmd(*parallel, *scenario, *chaosList, *repairDelay, *domainsSpec, beMode, *jsonOut); err != nil {
 				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 				code = 1
+				if errors.Is(err, errUnknownScenario) {
+					code = 2
+				}
 				break loop
 			}
 		case "all":
@@ -337,7 +347,8 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-windows N] [-scenario S] [-out F] [-in F] [-csv] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|chaos|report|daemon|loadgen|all}...")
-	fmt.Fprintln(os.Stderr, "  daemon flags: [-listen A] [-policy P] [-queuecap N] [-maxinflight N] [-timescale F] [-windowms F] [-backend ...] [-efpgas N] [-softcpus N] [-wedgeprob F] [-retries N] [-faultseed N]")
+	fmt.Fprintln(os.Stderr, "  daemon flags: [-listen A] [-policy P] [-queuecap N] [-maxinflight N] [-timescale F] [-windowms F] [-backend ...] [-efpgas N] [-softcpus N] [-wedgeprob F] [-retries N] [-faultseed N] [-repairdelay N] [-domains S]")
+	fmt.Fprintln(os.Stderr, "  chaos flags: [-scenario S|all] [-list] [-repairdelay N] [-domains S] [-parallel N] [-backend cycle|model] [-json]")
 	fmt.Fprintln(os.Stderr, "  loadgen flags: [-target URL] [-mode closed|open] [-concurrency N] [-rate F] [-duration D] [-requests N] [-apps A,B] [-tenants a:3,b:1] [-timeout D] [-seed N] [-json]")
 }
 
@@ -853,18 +864,47 @@ func xval(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, tole
 	return ok
 }
 
+// errUnknownScenario marks a -scenario value that names no chaos
+// scenario; main maps it to exit code 2 (usage error, not a run
+// failure) after printing the valid names.
+var errUnknownScenario = errors.New("unknown chaos scenario")
+
 // chaosCmd runs the named fault scenarios of the deterministic chaos
 // harness (internal/workload/chaos.go) and prints their outcome records.
-// -scenario picks one scenario or "all"; -backend selects the execution
-// backend (the fault plan injects below the Backend seam, so cycle and
-// model runs produce identical outcomes — the property the golden tests
-// and the CI chaos-smoke job pin).
-func chaosCmd(parallel int, scenario string, beMode workload.BackendMode, jsonOut bool) error {
+// -scenario picks one scenario or "all"; -list enumerates the names;
+// -repairdelay/-domains override each scenario's fault plan; -backend
+// selects the execution backend (the fault plan injects below the
+// Backend seam, so cycle and model runs produce identical outcomes —
+// the property the golden tests and the CI chaos-smoke job pin).
+func chaosCmd(parallel int, scenario string, list bool, repairDelayUS int64, domainsSpec string, beMode workload.BackendMode, jsonOut bool) error {
 	names := workload.ChaosScenarioNames()
+	if list {
+		if jsonOut {
+			emitJSON(struct {
+				Scenarios []string `json:"scenarios"`
+			}{names})
+			return nil
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	}
 	if scenario != "all" {
+		if !slices.Contains(names, scenario) {
+			return fmt.Errorf("%w %q (have %s)", errUnknownScenario, scenario, strings.Join(names, ", "))
+		}
 		names = []string{scenario}
 	}
-	results, err := workload.ChaosStudy(parallel, names, beMode)
+	ov := workload.ChaosOverride{RepairDelay: sim.Time(repairDelayUS) * sim.US}
+	if strings.TrimSpace(domainsSpec) != "" {
+		doms, err := faults.ParseDomains(domainsSpec)
+		if err != nil {
+			return err
+		}
+		ov.Domains = doms
+	}
+	results, err := workload.ChaosStudyOverride(parallel, names, beMode, ov)
 	if err != nil {
 		return err
 	}
@@ -876,11 +916,11 @@ func chaosCmd(parallel int, scenario string, beMode workload.BackendMode, jsonOu
 	}
 	header(fmt.Sprintf("Chaos: deterministic fault scenarios (%s backend)", beMode))
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Scenario\tShards\tCompleted\tTimedOut\tUnavail\tWedges\tRetries\tQuar\tRerouted\tHedged\tGoodput\tAvail\tp99")
+	fmt.Fprintln(w, "Scenario\tShards\tCompleted\tTimedOut\tUnavail\tWedges\tRetries\tQuar\tRepairs\tRerouted\tHedged\tGoodput\tAvail\tp99")
 	for _, r := range results {
-		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%v\n",
+		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%v\n",
 			r.Scenario, r.Shards, r.Completed, r.Offered, r.TimedOut, r.Unavailable,
-			r.Wedges, r.Retries, r.Quarantined, r.Rerouted, r.Hedged,
+			r.Wedges, r.Retries, r.Quarantined, r.Repairs, r.Rerouted, r.Hedged,
 			r.Goodput, r.Availability, r.P99)
 	}
 	w.Flush()

@@ -180,6 +180,12 @@ type FaultSpec struct {
 	// shard — the duplicate rides the stream immediately after its
 	// source arrival, keeping per-shard arrival order intact.
 	Hedge sim.Time
+	// RecoverHold is the health-weighted front end's hysteresis: a shard
+	// whose outage window closed less than RecoverHold ago ranks as
+	// recovering — behind every healthy shard, ahead of down ones — so
+	// traffic ramps back instead of slamming into a just-rejoined shard.
+	// Zero means rejoined shards rank healthy immediately.
+	RecoverHold sim.Time
 }
 
 // active reports whether the spec can change any routing decision.
@@ -209,6 +215,24 @@ func (f *FaultSpec) downAt(shard int, at sim.Time) bool {
 		}
 	}
 	return false
+}
+
+// healthClass ranks shard for the health-weighted front end at instant
+// at: 0 healthy, 1 recovering (inside the RecoverHold hysteresis after
+// an outage window closed), 2 down. A nil spec ranks everything healthy.
+func (f *FaultSpec) healthClass(shard int, at sim.Time) int {
+	if f == nil || shard < 0 || shard >= len(f.ShardDown) {
+		return 0
+	}
+	for _, w := range f.ShardDown[shard] {
+		if at >= w.From && at < w.To {
+			return 2
+		}
+		if f.RecoverHold > 0 && at >= w.To && at < w.To+f.RecoverHold {
+			return 1
+		}
+	}
+	return 0
 }
 
 // crashesWithin reports whether shard enters an outage window in
@@ -369,7 +393,7 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 	// regrouped into per-shard index lists. Shards then read their own
 	// entries out of the shared stream, so no per-shard copy of the
 	// (potentially huge) stream is ever built.
-	assign := route(cfg.Shards, cfg.FrontEnd, reps, stream)
+	assign := route(cfg.Shards, cfg.FrontEnd, reps, stream, cfg.Faults)
 	var rerouted, hedged int
 	if cfg.Faults.active() {
 		stream, assign, rerouted, hedged = applyFaults(cfg.Faults, cfg.Shards, stream, assign)

@@ -33,11 +33,23 @@ const (
 	// index wins — an explicit part of the determinism contract, pinned
 	// by a regression test.
 	LeastOutstanding
+	// HealthWeighted is LeastOutstanding with the fault spec's health
+	// signal layered on top: shards are ranked first by health class —
+	// healthy, then recovering (an outage window closed less than
+	// FaultSpec.RecoverHold ago: the hysteresis that keeps a freshly
+	// rejoined shard from instantly absorbing the whole stream), then
+	// down — and only then by outstanding count, lowest index winning
+	// ties. With a nil or inactive fault spec every shard is healthy and
+	// the policy IS LeastOutstanding, decision for decision. The health
+	// class comes from the same outage schedule the daemon's /healthz
+	// degrades on, and the ranking is part of the sequential pre-pass, so
+	// routing stays byte-identical at every width and on both backends.
+	HealthWeighted
 	NumFrontEnds
 )
 
 func (f FrontEnd) String() string {
-	names := [...]string{"hash-app", "round-robin", "least-outstanding"}
+	names := [...]string{"hash-app", "round-robin", "least-outstanding", "health-weighted"}
 	if f < 0 || int(f) >= len(names) {
 		return "unknown"
 	}
@@ -61,8 +73,9 @@ func FrontEndByName(name string) (FrontEnd, error) {
 // route assigns each arrival to a shard under the chosen policy; the
 // result maps stream index to shard index. reps supplies every shard's
 // catalog model, so heterogeneous shards are routed by their own
-// capacity, not shard 0's.
-func route(shards int, fe FrontEnd, reps []Replica, stream []Arrival) []int32 {
+// capacity, not shard 0's. faults feeds the health-weighted policy's
+// shard ranking (every other policy ignores it; nil means all-healthy).
+func route(shards int, fe FrontEnd, reps []Replica, stream []Arrival, faults *FaultSpec) []int32 {
 	assign := make([]int32, len(stream))
 	switch fe {
 	case RoundRobin:
@@ -72,7 +85,12 @@ func route(shards int, fe FrontEnd, reps []Replica, stream []Arrival) []int32 {
 	case LeastOutstanding:
 		lo := newLoadModel(reps)
 		for i := range stream {
-			assign[i] = int32(lo.route(&stream[i]))
+			assign[i] = int32(lo.route(&stream[i], nil))
+		}
+	case HealthWeighted:
+		lo := newLoadModel(reps)
+		for i := range stream {
+			assign[i] = int32(lo.route(&stream[i], faults))
 		}
 	default: // HashApp
 		for i := range stream {
@@ -111,11 +129,13 @@ func newLoadModel(reps []Replica) *loadModel {
 	return lm
 }
 
-// route picks the shard with the fewest outstanding jobs at a.At and
-// charges the job's predicted occupancy (under that shard's own catalog
-// model) to the shard's earliest-free virtual fabric.
-func (lm *loadModel) route(a *Arrival) int {
-	best, bestOut := 0, -1
+// route picks the best shard at a.At and charges the job's predicted
+// occupancy (under that shard's own catalog model) to the shard's
+// earliest-free virtual fabric. Shards are ranked lexicographically by
+// (health class, outstanding count, index): with a nil fault spec every
+// class is 0 and the pick is plain least-outstanding.
+func (lm *loadModel) route(a *Arrival, faults *FaultSpec) int {
+	best, bestOut, bestClass := 0, -1, 0
 	for i := range lm.shards {
 		sh := &lm.shards[i]
 		live := sh.finishes[:0]
@@ -125,11 +145,13 @@ func (lm *loadModel) route(a *Arrival) int {
 			}
 		}
 		sh.finishes = live
-		// Strict less-than: on equal outstanding counts the earlier
+		// Strict less-than on both keys: on full ties the earlier
 		// (lowest-index) shard keeps the job — the explicit tie-break of
 		// the determinism contract.
-		if bestOut < 0 || len(sh.finishes) < bestOut {
-			best, bestOut = i, len(sh.finishes)
+		class := faults.healthClass(i, a.At)
+		if bestOut < 0 || class < bestClass ||
+			(class == bestClass && len(sh.finishes) < bestOut) {
+			best, bestOut, bestClass = i, len(sh.finishes), class
 		}
 	}
 	sh := &lm.shards[best]

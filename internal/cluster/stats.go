@@ -39,6 +39,9 @@ func Merge(shards []ShardResult) sched.Stats {
 		m.Wedges += s.Stats.Wedges
 		m.Retries += s.Stats.Retries
 		m.Quarantined += s.Stats.Quarantined
+		m.Repairs += s.Stats.Repairs
+		m.ProbationFails += s.Stats.ProbationFails
+		m.QuarantineTime += s.Stats.QuarantineTime
 		if s.Stats.Makespan > m.Makespan {
 			m.Makespan = s.Stats.Makespan
 		}

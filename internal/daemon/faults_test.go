@@ -128,6 +128,72 @@ func TestHealthzDegradesOnWedge(t *testing.T) {
 	}
 }
 
+// TestHealthzRecoversAfterRepair: with a repair delay in the plan,
+// quarantine is transient — the payload walks healthy → degraded on the
+// wedge, then back to healthy once the repair fires, and /metrics books
+// the repair and the repaid quarantine time.
+func TestHealthzRecoversAfterRepair(t *testing.T) {
+	s, clock := newTestServer(t, func(cfg *Config) {
+		cfg.EFPGAs = 2
+		// The first reprogram wedges its fabric deterministically; the
+		// repair process returns it after ~100ms of simulated time (the
+		// probationary reprogram draws a fresh wedge decision, so use a
+		// seed whose repair draw survives probation).
+		cfg.Faults = &faults.Plan{
+			Seed: 1, WedgeProb: 1, WedgeProbs: []float64{1, 0},
+			RepairDelay: 100 * sim.MS,
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJob(t, ts.URL, JobRequest{App: "Tangent", InputSize: 64, Wait: false})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+	clock.Advance(time.Millisecond)
+	s.Tick()
+
+	code, h := getHealth(t, ts.URL)
+	if code != http.StatusOK || h.Status != "degraded" || h.WedgedFabrics != 1 {
+		t.Fatalf("after wedge: healthz %d %+v, want 200 degraded/1 wedged", code, h)
+	}
+
+	// Ride past the repair delay (backoff jitter keeps it under 150ms of
+	// simulated time for the first repair): the fabric rejoins on
+	// probation and readiness recovers.
+	clock.Advance(time.Second)
+	s.Tick()
+	code, h = getHealth(t, ts.URL)
+	if code != http.StatusOK || h.Status != "healthy" || h.WedgedFabrics != 0 {
+		t.Fatalf("after repair: healthz %d %+v, want 200 healthy/0 wedged", code, h)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	for _, wantLine := range []string{
+		"duetsim_wedges_total 1\n",
+		"duetsim_repairs_total 1\n",
+		"duetsim_healthy_workers 2\n",
+	} {
+		if !strings.Contains(got, wantLine) {
+			t.Errorf("metrics missing %q", wantLine)
+		}
+	}
+	if strings.Contains(got, "duetsim_quarantine_seconds_total 0\n") {
+		t.Error("repair repaid no quarantine time")
+	}
+}
+
 // TestHealthzDownWindow: a scheduled outage window flips readiness to
 // down (503) for exactly the window's simulated span, refusing
 // submissions inside it, and recovers on rejoin.

@@ -81,6 +81,11 @@ type LoadgenReport struct {
 	Rejected429    int `json:"rejected_429"`
 	Unavailable503 int `json:"unavailable_503"`
 	OtherErrors    int `json:"other_errors"`
+	// Retried counts backpressure retries: 429/503 responses whose
+	// Retry-After hint the generator honored before resubmitting. The
+	// 429/503 tallies above count only submissions that stayed rejected
+	// after the retry budget.
+	Retried int `json:"retried"`
 
 	ThroughputHz float64       `json:"throughput_hz"`
 	WallMean     time.Duration `json:"wall_mean_ns"`
@@ -285,40 +290,80 @@ func (g *loadgen) untake() {
 	g.mu.Unlock()
 }
 
-// submit performs one sync job submission and files the outcome.
+// Backpressure-retry budget: a 429/503 response is resubmitted up to
+// loadgenMaxAttempts total tries, honoring the server's Retry-After
+// hint capped at loadgenRetryCap (so a pathological hint can't stall a
+// worker for the whole run).
+const (
+	loadgenMaxAttempts = 3
+	loadgenRetryCap    = 2 * time.Second
+)
+
+// retryDelay turns a 429/503 response's Retry-After header into a
+// bounded wait. Missing or malformed headers fall back to a
+// deterministic per-attempt ramp (50ms, 100ms, ...), so behavior does
+// not depend on server cooperation.
+func retryDelay(header string, attempt int) time.Duration {
+	if sec, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && sec >= 0 {
+		return min(time.Duration(sec)*time.Second, loadgenRetryCap)
+	}
+	return min(time.Duration(attempt+1)*50*time.Millisecond, loadgenRetryCap)
+}
+
+// submit performs one sync job submission — retrying bounced (429/503)
+// attempts per the Retry-After hint — and files the final outcome.
 func (g *loadgen) submit(ctx context.Context) {
 	app, tenant := g.pick()
 	body, _ := json.Marshal(JobRequest{App: app, InputSize: g.cfg.InputSize, Tenant: tenant, Wait: true})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.Target+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		g.file(0, 0, err)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	start := time.Now()
-	resp, err := g.client.Do(req)
-	if err != nil {
-		g.file(0, 0, err)
-		return
-	}
-	defer resp.Body.Close()
-	var res Result
-	if resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.Target+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			g.file(0, 0, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := g.client.Do(req)
+		if err != nil {
+			g.file(0, 0, err)
+			return
+		}
+		var res Result
+		if resp.StatusCode == http.StatusOK {
+			err = json.NewDecoder(resp.Body).Decode(&res)
+		} else {
+			_, _ = io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && err != nil {
 			g.file(resp.StatusCode, 0, err)
 			return
 		}
-	} else {
-		_, _ = io.Copy(io.Discard, resp.Body)
-	}
-	elapsed := time.Since(start)
-	if resp.StatusCode == http.StatusOK && res.Status == "failed" {
+		elapsed := time.Since(start)
+		if resp.StatusCode == http.StatusOK && res.Status == "failed" {
+			g.mu.Lock()
+			g.rep.Failed++
+			g.mu.Unlock()
+			return
+		}
+		backpressured := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !backpressured || attempt+1 >= loadgenMaxAttempts {
+			g.file(resp.StatusCode, elapsed, nil)
+			return
+		}
 		g.mu.Lock()
-		g.rep.Failed++
+		g.rep.Retried++
 		g.mu.Unlock()
-		return
+		t := time.NewTimer(retryDelay(resp.Header.Get("Retry-After"), attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			g.file(0, 0, ctx.Err())
+			return
+		case <-t.C:
+		}
 	}
-	g.file(resp.StatusCode, elapsed, nil)
 }
 
 // file classifies one finished request into the report.

@@ -2,8 +2,11 @@ package daemon
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -95,6 +98,89 @@ func TestLoadgenOpen(t *testing.T) {
 	}
 	if rep.Completed == 0 {
 		t.Fatalf("open loop completed nothing: %+v", rep)
+	}
+}
+
+// TestRetryDelay pins the Retry-After handling: the server's hint wins
+// (capped), and missing or malformed headers fall back to the
+// deterministic per-attempt ramp.
+func TestRetryDelay(t *testing.T) {
+	cases := []struct {
+		header  string
+		attempt int
+		want    time.Duration
+	}{
+		{"1", 0, time.Second},
+		{" 1 ", 0, time.Second},
+		{"0", 0, 0},
+		{"30", 0, loadgenRetryCap},
+		{"", 0, 50 * time.Millisecond},
+		{"", 1, 100 * time.Millisecond},
+		{"", 100, loadgenRetryCap},
+		{"soon", 0, 50 * time.Millisecond},
+		{"-2", 2, 150 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := retryDelay(tc.header, tc.attempt); got != tc.want {
+			t.Errorf("retryDelay(%q, %d) = %v, want %v", tc.header, tc.attempt, got, tc.want)
+		}
+	}
+}
+
+// TestLoadgenRetriesBackpressure: a server that bounces every first
+// attempt with 429 + Retry-After sees the generator resubmit within
+// its budget — every job retries exactly once, completes on the second
+// try, and nothing is filed as rejected.
+func TestLoadgenRetriesBackpressure(t *testing.T) {
+	var submits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if submits.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "admission queue full", http.StatusTooManyRequests)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(Result{Status: "ok"})
+	}))
+	t.Cleanup(ts.Close)
+	rep, err := RunLoadgen(context.Background(), LoadgenConfig{
+		Target:      ts.URL,
+		Mode:        "closed",
+		Concurrency: 1,
+		Duration:    5 * time.Second,
+		Jobs:        10,
+		Apps:        []string{"Tangent"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retried != 10 || rep.Completed != 10 || rep.Rejected429 != 0 {
+		t.Fatalf("want 10 retried / 10 completed / 0 rejected, got %+v", rep)
+	}
+}
+
+// TestLoadgenRetryBudgetExhausts: a server that always bounces burns
+// the full budget (maxAttempts-1 retries per job) and files the final
+// 429 as rejected.
+func TestLoadgenRetryBudgetExhausts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "admission queue full", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	rep, err := RunLoadgen(context.Background(), LoadgenConfig{
+		Target:      ts.URL,
+		Mode:        "closed",
+		Concurrency: 1,
+		Duration:    5 * time.Second,
+		Jobs:        4,
+		Apps:        []string{"Tangent"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRetried := 4 * (loadgenMaxAttempts - 1)
+	if rep.Retried != wantRetried || rep.Rejected429 != 4 || rep.Completed != 0 {
+		t.Fatalf("want %d retried / 4 rejected / 0 completed, got %+v", wantRetried, rep)
 	}
 }
 

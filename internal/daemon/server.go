@@ -86,6 +86,9 @@ type engineTimeline struct{ eng *sim.Engine }
 func (t engineTimeline) Now() sim.Time        { return t.eng.Now() }
 func (t engineTimeline) RunUntil(at sim.Time) { t.eng.RunUntil(at) }
 func (t engineTimeline) Drain()               { t.eng.Run(0) }
+func (t engineTimeline) AfterArg(d sim.Time, fn func(any), arg any) {
+	t.eng.AfterArg(d, fn, arg)
+}
 
 // Server is the live ingest front end. One mutex guards the timeline,
 // the scheduler, and the result tables: the simulated timeline only

@@ -28,6 +28,9 @@ package faults
 
 import (
 	"fmt"
+	"slices"
+	"strconv"
+	"strings"
 
 	"duet/internal/efpga"
 	"duet/internal/sched"
@@ -83,6 +86,121 @@ type Plan struct {
 	// instant onto a healthy backup shard — hedged re-dispatch ahead of
 	// the crash the victim arrival would be killed by.
 	Hedge sim.Time
+
+	// RepairDelay, when positive, turns quarantine into a transient
+	// state: a wedged fabric is scheduled for repair after a seeded delay
+	// derived from RepairDelay — exponential backoff over the worker's
+	// lifetime wedge count, with a deterministic ±50% jitter drawn like
+	// every other fault (see RepairDelayFor). Zero keeps quarantine
+	// permanent, the pre-repair behavior.
+	RepairDelay sim.Time
+	// MaxRepairs bounds repairs per worker (0 = unlimited): a worker
+	// wedging past its budget is quarantined permanently.
+	MaxRepairs int
+	// RecoverHold is the cluster front ends' recovery hysteresis: the
+	// health-weighted front end keeps deprioritizing a shard whose
+	// outage window closed less than RecoverHold ago.
+	RecoverHold sim.Time
+
+	// Domains groups shards into named correlated-failure domains (racks,
+	// power feeds): a domain's outage windows down every member shard at
+	// once, and its wedge probability raises every member worker's.
+	Domains []Domain
+}
+
+// Domain is one named correlated-failure domain — a rack or power group
+// of cluster shards that fails together instead of independently.
+type Domain struct {
+	// Name labels the domain in flag specs and reports.
+	Name string
+	// Shards lists the member shard indices.
+	Shards []int
+	// Down lists the domain's outage windows: every member shard is down
+	// for each window, merged into the shard's own ShardDown schedule
+	// (see DownFor).
+	Down []sched.Downtime
+	// WedgeProb, when higher than a member worker's own probability,
+	// raises it — a domain-wide event (power sag, cooling failure) that
+	// makes every member fabric wedge-prone at once.
+	WedgeProb float64
+}
+
+// member reports whether shard belongs to the domain.
+func (d *Domain) member(shard int) bool {
+	for _, s := range d.Shards {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseDomains parses a -domains flag spec: ';'-separated domains, each
+//
+//	name=SHARD[+SHARD...][@FROM-TO[,FROM-TO...]][~WEDGEPROB]
+//
+// with FROM/TO in microseconds of simulated time. For example
+//
+//	rack0=0+1@4000-9000;feedA=2@1000-2000,5000-6000~0.8
+//
+// declares rack0 downing shards 0 and 1 for [4ms, 9ms) and feedA
+// downing shard 2 for two windows while raising its wedge probability
+// to 0.8. An empty spec returns no domains.
+func ParseDomains(spec string) ([]Domain, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Domain
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("faults: domain %q: want name=shards[@windows][~prob]", part)
+		}
+		d := Domain{Name: name}
+		if body, prob, ok := strings.Cut(rest, "~"); ok {
+			p, err := strconv.ParseFloat(strings.TrimSpace(prob), 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faults: domain %q: bad wedge probability %q", name, prob)
+			}
+			d.WedgeProb = p
+			rest = body
+		}
+		shardsSpec, winSpec, _ := strings.Cut(rest, "@")
+		for _, s := range strings.Split(shardsSpec, "+") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: domain %q: bad shard %q", name, s)
+			}
+			d.Shards = append(d.Shards, n)
+		}
+		if len(d.Shards) == 0 {
+			return nil, fmt.Errorf("faults: domain %q: no member shards", name)
+		}
+		for _, w := range strings.Split(winSpec, ",") {
+			w = strings.TrimSpace(w)
+			if w == "" {
+				continue
+			}
+			fromS, toS, ok := strings.Cut(w, "-")
+			if !ok {
+				return nil, fmt.Errorf("faults: domain %q: window %q: want FROM-TO in microseconds", name, w)
+			}
+			from, err1 := strconv.ParseInt(strings.TrimSpace(fromS), 10, 64)
+			to, err2 := strconv.ParseInt(strings.TrimSpace(toS), 10, 64)
+			if err1 != nil || err2 != nil || from < 0 || to <= from {
+				return nil, fmt.Errorf("faults: domain %q: bad window %q", name, w)
+			}
+			d.Down = append(d.Down, sched.Downtime{From: sim.Time(from) * sim.US, To: sim.Time(to) * sim.US})
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // Empty reports whether the plan injects nothing anywhere — wrappers
@@ -92,6 +210,9 @@ func (p *Plan) Empty() bool {
 		return true
 	}
 	if p.WedgeProb > 0 || p.BlowupProb > 0 || p.EnforceDeadlines || p.MaxRetries > 0 || p.Hedge > 0 {
+		return false
+	}
+	if p.RepairDelay > 0 || p.RecoverHold > 0 {
 		return false
 	}
 	for _, w := range p.WedgeProbs {
@@ -104,15 +225,114 @@ func (p *Plan) Empty() bool {
 			return false
 		}
 	}
+	for _, d := range p.Domains {
+		if len(d.Down) > 0 || d.WedgeProb > 0 {
+			return false
+		}
+	}
 	return true
 }
 
-// DownFor reports shard's outage schedule (nil past the plan's length).
+// DownFor reports shard's effective outage schedule: its own ShardDown
+// windows merged with every member domain's windows — ascending and
+// non-overlapping, the form sched.FaultConfig.Down requires. Nil for
+// shards with no windows anywhere.
 func (p *Plan) DownFor(shard int) []sched.Downtime {
-	if p == nil || shard < 0 || shard >= len(p.ShardDown) {
+	if p == nil || shard < 0 {
 		return nil
 	}
-	return p.ShardDown[shard]
+	var base []sched.Downtime
+	if shard < len(p.ShardDown) {
+		base = p.ShardDown[shard]
+	}
+	extra := false
+	for i := range p.Domains {
+		if len(p.Domains[i].Down) > 0 && p.Domains[i].member(shard) {
+			extra = true
+			break
+		}
+	}
+	if !extra {
+		return base
+	}
+	all := append([]sched.Downtime(nil), base...)
+	for i := range p.Domains {
+		if p.Domains[i].member(shard) {
+			all = append(all, p.Domains[i].Down...)
+		}
+	}
+	return mergeDowntimes(all)
+}
+
+// mergeDowntimes sorts windows by opening instant and coalesces
+// overlapping or touching ones into the ascending non-overlapping form
+// the scheduler's downtime state machine walks.
+func mergeDowntimes(ws []sched.Downtime) []sched.Downtime {
+	slices.SortFunc(ws, func(a, b sched.Downtime) int {
+		switch {
+		case a.From != b.From:
+			if a.From < b.From {
+				return -1
+			}
+			return 1
+		case a.To != b.To:
+			if a.To < b.To {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	var out []sched.Downtime
+	for _, w := range ws {
+		if w.To <= w.From {
+			continue
+		}
+		if n := len(out); n > 0 && w.From <= out[n-1].To {
+			if w.To > out[n-1].To {
+				out[n-1].To = w.To
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// EffectiveShardDown renders every shard's effective outage schedule
+// (own windows plus member-domain windows) for a cluster of the given
+// shard count — what cluster front ends route and hedge against. The
+// result covers max(shards, the widest schedule the plan names).
+func (p *Plan) EffectiveShardDown(shards int) [][]sched.Downtime {
+	if p == nil {
+		return nil
+	}
+	n := shards
+	if len(p.ShardDown) > n {
+		n = len(p.ShardDown)
+	}
+	for i := range p.Domains {
+		for _, s := range p.Domains[i].Shards {
+			if s+1 > n {
+				n = s + 1
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][]sched.Downtime, n)
+	any := false
+	for s := 0; s < n; s++ {
+		out[s] = p.DownFor(s)
+		if len(out[s]) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
 }
 
 // FaultConfig renders the plan's scheduler-side knobs for one shard.
@@ -120,26 +340,67 @@ func (p *Plan) FaultConfig(shard int) sched.FaultConfig {
 	if p == nil {
 		return sched.FaultConfig{}
 	}
-	return sched.FaultConfig{
+	fc := sched.FaultConfig{
 		MaxRetries:       p.MaxRetries,
 		EnforceDeadlines: p.EnforceDeadlines,
 		Down:             p.DownFor(shard),
 	}
-}
-
-// wedgeProbFor resolves the effective wedge probability of one worker.
-func (p *Plan) wedgeProbFor(worker int) float64 {
-	if worker >= 0 && worker < len(p.WedgeProbs) {
-		return p.WedgeProbs[worker]
+	if p.RepairDelay > 0 {
+		fc.Repair = func(worker, nth int) sim.Time {
+			return p.RepairDelayFor(shard, worker, nth)
+		}
 	}
-	return p.WedgeProb
+	return fc
 }
 
-// Fault-class discriminators mixed into every draw, so the wedge and
-// blowup streams are independent even at equal sites.
+// maxBackoffShift caps the repair backoff at 64x the base delay.
+const maxBackoffShift = 6
+
+// RepairDelayFor is the seeded repair delay for the nth lifetime wedge
+// of (shard, worker), counting from 1: RepairDelay doubled per prior
+// wedge (capped at 64x) with a deterministic ±50% jitter — a pure
+// counted draw keyed like every other fault, so the cycle and model
+// backends schedule identical repair instants. Zero (permanent
+// quarantine) when the plan has no repair process or the worker has
+// exhausted MaxRepairs.
+func (p *Plan) RepairDelayFor(shard, worker, nth int) sim.Time {
+	if p == nil || p.RepairDelay <= 0 || nth <= 0 {
+		return 0
+	}
+	if p.MaxRepairs > 0 && nth > p.MaxRepairs {
+		return 0
+	}
+	shift := nth - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	base := p.RepairDelay << shift
+	jitter := 0.5 + draw(uint64(p.Seed), classRepair, uint64(shard), uint64(worker), uint64(nth))
+	return sim.Time(float64(base) * jitter)
+}
+
+// wedgeProbFor resolves the effective wedge probability of one worker on
+// one shard: the per-worker override (falling back to the shared
+// probability), raised to any member domain's higher probability.
+func (p *Plan) wedgeProbFor(shard, worker int) float64 {
+	prob := p.WedgeProb
+	if worker >= 0 && worker < len(p.WedgeProbs) {
+		prob = p.WedgeProbs[worker]
+	}
+	for i := range p.Domains {
+		if p.Domains[i].WedgeProb > prob && p.Domains[i].member(shard) {
+			prob = p.Domains[i].WedgeProb
+		}
+	}
+	return prob
+}
+
+// Fault-class discriminators mixed into every draw, so the wedge,
+// blowup and repair streams are independent even at equal sites.
 const (
 	classWedge uint64 = 1 + iota
 	classBlowup
+	classRepair
 )
 
 // mix is a splitmix64-style finalizer over the draw's key material.
@@ -178,7 +439,7 @@ func (in *Injector) wedge(worker, attempt int) bool {
 	if in.plan == nil {
 		return false
 	}
-	prob := in.plan.wedgeProbFor(worker)
+	prob := in.plan.wedgeProbFor(in.shard, worker)
 	if prob <= 0 {
 		return false
 	}
@@ -256,6 +517,14 @@ func (b *backend) Resident() string                     { return b.inner.Residen
 func (b *backend) ReconfigCost(app *sched.App) sim.Time { return b.inner.ReconfigCost(app) }
 func (b *backend) ServiceTime(app *sched.App, n int) sim.Time {
 	return b.inner.ServiceTime(app, n)
+}
+
+// Scrub forwards the repair process's probationary configuration-state
+// discard to scrub-capable inner backends (see sched.Scrubber).
+func (b *backend) Scrub() {
+	if sc, ok := b.inner.(sched.Scrubber); ok {
+		sc.Scrub()
+	}
 }
 
 // Bind interposes on the completion path: the inner backend completes

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"slices"
 	"testing"
 
 	"duet/internal/efpga"
@@ -103,6 +104,11 @@ func TestPlanEmpty(t *testing.T) {
 		{"retries", &Plan{MaxRetries: 1}, false},
 		{"downtime", &Plan{ShardDown: [][]sched.Downtime{{{From: 1, To: 2}}}}, false},
 		{"hedge", &Plan{Hedge: sim.US}, false},
+		{"repair", &Plan{RepairDelay: sim.US}, false},
+		{"recover-hold", &Plan{RecoverHold: sim.US}, false},
+		{"inert-domain", &Plan{Domains: []Domain{{Name: "r0", Shards: []int{0}}}}, true},
+		{"domain-down", &Plan{Domains: []Domain{{Name: "r0", Shards: []int{0}, Down: []sched.Downtime{{From: 1, To: 2}}}}}, false},
+		{"domain-wedge", &Plan{Domains: []Domain{{Name: "r0", Shards: []int{0}, WedgeProb: 0.2}}}, false},
 	}
 	for _, tc := range cases {
 		if got := tc.plan.Empty(); got != tc.want {
@@ -139,13 +145,13 @@ func TestFaultConfigPerShard(t *testing.T) {
 
 func TestWedgeProbPerWorkerOverride(t *testing.T) {
 	plan := &Plan{WedgeProb: 0.5, WedgeProbs: []float64{0, 1}}
-	if got := plan.wedgeProbFor(0); got != 0 {
+	if got := plan.wedgeProbFor(0, 0); got != 0 {
 		t.Errorf("worker 0 prob %v, want per-worker 0", got)
 	}
-	if got := plan.wedgeProbFor(1); got != 1 {
+	if got := plan.wedgeProbFor(0, 1); got != 1 {
 		t.Errorf("worker 1 prob %v, want per-worker 1", got)
 	}
-	if got := plan.wedgeProbFor(2); got != 0.5 {
+	if got := plan.wedgeProbFor(0, 2); got != 0.5 {
 		t.Errorf("worker 2 prob %v, want fallback 0.5", got)
 	}
 	// A certain-wedge worker wedges every attempt; a zero-prob worker
@@ -298,3 +304,160 @@ func TestWrapBlowupDefersCompletion(t *testing.T) {
 		t.Fatal("deferred completion never reached the scheduler")
 	}
 }
+
+func TestParseDomains(t *testing.T) {
+	got, err := ParseDomains("rack0=0+1@4000-9000; feedA=2@1000-2000,5000-6000~0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Domain{
+		{Name: "rack0", Shards: []int{0, 1}, Down: []sched.Downtime{{From: 4000 * sim.US, To: 9000 * sim.US}}},
+		{Name: "feedA", Shards: []int{2}, WedgeProb: 0.8, Down: []sched.Downtime{
+			{From: 1000 * sim.US, To: 2000 * sim.US}, {From: 5000 * sim.US, To: 6000 * sim.US},
+		}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d domains, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Name != w.Name || g.WedgeProb != w.WedgeProb ||
+			!slices.Equal(g.Shards, w.Shards) || !slices.Equal(g.Down, w.Down) {
+			t.Errorf("domain %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if got, err := ParseDomains("  "); err != nil || got != nil {
+		t.Errorf("blank spec = (%v, %v), want no domains", got, err)
+	}
+	for _, bad := range []string{"=0", "r0=", "r0=x", "r0=0@5", "r0=0@9-3", "r0=0~1.5", "r0=0~x"} {
+		if _, err := ParseDomains(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestDownForMergesDomains: a shard's effective schedule is its own
+// windows merged with every member domain's, coalesced and ascending.
+func TestDownForMergesDomains(t *testing.T) {
+	plan := &Plan{
+		ShardDown: [][]sched.Downtime{{{From: 10, To: 20}}},
+		Domains: []Domain{
+			{Name: "rack", Shards: []int{0, 1}, Down: []sched.Downtime{{From: 15, To: 30}, {From: 50, To: 60}}},
+			{Name: "feed", Shards: []int{1}, Down: []sched.Downtime{{From: 55, To: 70}}},
+		},
+	}
+	if got, want := plan.DownFor(0), []sched.Downtime{{From: 10, To: 30}, {From: 50, To: 60}}; !slices.Equal(got, want) {
+		t.Errorf("shard 0 schedule %+v, want %+v", got, want)
+	}
+	if got, want := plan.DownFor(1), []sched.Downtime{{From: 15, To: 30}, {From: 50, To: 70}}; !slices.Equal(got, want) {
+		t.Errorf("shard 1 schedule %+v, want %+v", got, want)
+	}
+	if got := plan.DownFor(2); got != nil {
+		t.Errorf("non-member shard schedule %+v, want none", got)
+	}
+	eff := plan.EffectiveShardDown(4)
+	if len(eff) != 4 || len(eff[0]) != 2 || len(eff[1]) != 2 || eff[2] != nil || eff[3] != nil {
+		t.Errorf("effective schedules %+v malformed", eff)
+	}
+	// Domain-free plans hand back the raw schedule (same backing array).
+	bare := &Plan{ShardDown: [][]sched.Downtime{{{From: 1, To: 2}}}}
+	if got := bare.DownFor(0); &got[0] != &bare.ShardDown[0][0] {
+		t.Error("domain-free DownFor copied the schedule")
+	}
+	if (&Plan{}).EffectiveShardDown(3) != nil {
+		t.Error("windowless plan rendered a non-nil schedule table")
+	}
+}
+
+// TestDomainWedgeProbRaises: a member domain's probability raises a
+// worker's effective wedge probability but never lowers it.
+func TestDomainWedgeProbRaises(t *testing.T) {
+	plan := &Plan{
+		WedgeProb: 0.3,
+		Domains:   []Domain{{Name: "rack", Shards: []int{1}, WedgeProb: 0.9}},
+	}
+	if got := plan.wedgeProbFor(1, 0); got != 0.9 {
+		t.Errorf("member shard prob %v, want the domain's 0.9", got)
+	}
+	if got := plan.wedgeProbFor(0, 0); got != 0.3 {
+		t.Errorf("non-member shard prob %v, want the plan's 0.3", got)
+	}
+	plan.Domains[0].WedgeProb = 0.1
+	if got := plan.wedgeProbFor(1, 0); got != 0.3 {
+		t.Errorf("lower domain prob gave %v, want the plan's 0.3 kept", got)
+	}
+}
+
+// TestRepairDelayFor: seeded, backed off, jittered within ±50%, and cut
+// off past MaxRepairs.
+func TestRepairDelayFor(t *testing.T) {
+	plan := &Plan{Seed: 7, RepairDelay: 100 * sim.US, MaxRepairs: 3}
+	twin := &Plan{Seed: 7, RepairDelay: 100 * sim.US, MaxRepairs: 3}
+	for nth := 1; nth <= 3; nth++ {
+		d := plan.RepairDelayFor(0, 1, nth)
+		if d != twin.RepairDelayFor(0, 1, nth) {
+			t.Fatalf("repair delay diverged at nth=%d", nth)
+		}
+		base := plan.RepairDelay << (nth - 1)
+		if d < base/2 || d >= base+base/2 {
+			t.Errorf("nth=%d delay %v outside [%v, %v)", nth, d, base/2, base+base/2)
+		}
+	}
+	if got := plan.RepairDelayFor(0, 1, 4); got != 0 {
+		t.Errorf("past MaxRepairs delay %v, want permanent quarantine", got)
+	}
+	if got := (&Plan{Seed: 7}).RepairDelayFor(0, 1, 1); got != 0 {
+		t.Errorf("repair-free plan delay %v, want 0", got)
+	}
+	// Backoff caps at 64x: far-out wedges draw bounded delays.
+	deep := &Plan{Seed: 7, RepairDelay: 100 * sim.US}
+	if d := deep.RepairDelayFor(0, 1, 40); d >= 96*deep.RepairDelay {
+		t.Errorf("nth=40 delay %v escaped the 64x backoff cap", d)
+	}
+	// Different sites draw different jitters (the repair stream is keyed
+	// like every other fault class).
+	if deep.RepairDelayFor(0, 1, 1) == deep.RepairDelayFor(1, 1, 1) &&
+		deep.RepairDelayFor(0, 1, 1) == deep.RepairDelayFor(0, 2, 1) {
+		t.Error("repair jitter ignores its site key")
+	}
+}
+
+// TestFaultConfigRepairClosure: a repairing plan's FaultConfig carries a
+// Repair hook that prices delays per shard.
+func TestFaultConfigRepairClosure(t *testing.T) {
+	plan := &Plan{Seed: 3, RepairDelay: 50 * sim.US}
+	fc := plan.FaultConfig(2)
+	if fc.Repair == nil {
+		t.Fatal("repairing plan rendered no Repair hook")
+	}
+	if got, want := fc.Repair(1, 1), plan.RepairDelayFor(2, 1, 1); got != want {
+		t.Errorf("hook delay %v, want shard-2 pricing %v", got, want)
+	}
+	if (&Plan{MaxRetries: 1}).FaultConfig(0).Repair != nil {
+		t.Error("repair-free plan rendered a Repair hook")
+	}
+}
+
+// TestWrapScrubForwards: the fault wrapper forwards Scrub to
+// scrub-capable inner backends and swallows it otherwise.
+func TestWrapScrubForwards(t *testing.T) {
+	inner := &scrubBackend{}
+	be := NewInjector(&Plan{}, 0).Wrap(&stubTimeline{}, 0, inner)
+	sc, ok := be.(sched.Scrubber)
+	if !ok {
+		t.Fatal("wrapper does not implement sched.Scrubber")
+	}
+	sc.Scrub()
+	if !inner.scrubbed {
+		t.Fatal("Scrub did not reach the inner backend")
+	}
+	// A non-scrubbing inner backend (the CPU soft path) is a no-op.
+	NewInjector(&Plan{}, 0).Wrap(&stubTimeline{}, 0, &stubBackend{}).(sched.Scrubber).Scrub()
+}
+
+type scrubBackend struct {
+	stubBackend
+	scrubbed bool
+}
+
+func (b *scrubBackend) Scrub() { b.scrubbed = true }

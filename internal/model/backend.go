@@ -106,6 +106,11 @@ func (b *Fabric) Register(bs *efpga.Bitstream) error {
 // Resident reports the modeled installed bitstream name.
 func (b *Fabric) Resident() string { return b.resident }
 
+// Scrub discards the modeled resident bitstream (the repair process's
+// probationary re-reprogram; see sched.Scrubber) — the next placement
+// pays the full reconfiguration cost, like the cycle backend's Scrub.
+func (b *Fabric) Scrub() { b.resident = "" }
+
 // Bind attaches the scheduler's settle time and completion callback.
 func (b *Fabric) Bind(settleCycles int64, done func(*sched.Job, error)) {
 	b.settle = settleCycles

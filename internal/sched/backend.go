@@ -8,13 +8,18 @@ import (
 	"duet/internal/sim"
 )
 
-// Timeline is the scheduler's notion of current simulated time — the
-// only thing the scheduler itself needs from an event engine (its
-// backends own all scheduling). sim.Engine implements it; internal/model
-// substitutes a lightweight analytic timeline for engine-free fast-model
-// runs.
+// Timeline is the scheduler's scheduling surface: the current simulated
+// time, plus deferred-callback scheduling for the repair process (see
+// faults.go — a quarantined worker's return to service is the one
+// scheduler-owned timeline event). sim.Engine implements it;
+// internal/model substitutes a lightweight analytic timeline for
+// engine-free fast-model runs.
 type Timeline interface {
 	Now() sim.Time
+	// AfterArg schedules fn(arg) d after the current instant. Same-instant
+	// callbacks run in scheduling order on every implementation, which is
+	// what keeps cycle-backed and model-backed runs byte-identical.
+	AfterArg(d sim.Time, fn func(any), arg any)
 }
 
 // BackendKind names an execution-backend implementation class.
@@ -97,6 +102,15 @@ type Backend interface {
 	// reconfiguration (setting j.Reprogrammed) and the service time,
 	// then invokes the bound done callback at the completion instant.
 	Dispatch(j *Job, app *App)
+}
+
+// Scrubber is the optional backend surface the repair process uses for
+// its probationary re-reprogram: Scrub discards the backend's resident
+// configuration state, so the first placement after a repair pays the
+// full reconfiguration cost (and can wedge again — a flapping fabric).
+// Backends with no configuration state simply don't implement it.
+type Scrubber interface {
+	Scrub()
 }
 
 // unboundedCap is the capacity software backends report: every bitstream

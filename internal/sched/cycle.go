@@ -28,6 +28,14 @@ type CycleBackend struct {
 	// schedules it with the job as the event argument, so the resident
 	// fast path allocates no closure.
 	finishFn func(any)
+
+	// scrubbed marks the configuration state discarded by a repair's
+	// probationary Scrub: Resident reports unprogrammed until the next
+	// reprogramming dispatch clears it. The adapter's actual resident
+	// image is untouched — the point is only that the next placement
+	// prices and pays a full reconfiguration, exactly as the analytic
+	// model backend does after its own Scrub.
+	scrubbed bool
 }
 
 // NewCycleBackend wraps an adapter/fabric pair as an execution backend.
@@ -64,13 +72,21 @@ func (b *CycleBackend) Register(bs *efpga.Bitstream) error {
 	return err
 }
 
-// Resident reports the fabric's installed bitstream name.
+// Resident reports the fabric's installed bitstream name ("" while the
+// configuration state is scrubbed pending a probationary re-reprogram).
 func (b *CycleBackend) Resident() string {
+	if b.scrubbed {
+		return ""
+	}
 	if bs := b.ad.Resident(); bs != nil {
 		return bs.Name
 	}
 	return ""
 }
+
+// Scrub discards the backend's resident configuration state (the repair
+// process's probationary re-reprogram; see sched.Scrubber).
+func (b *CycleBackend) Scrub() { b.scrubbed = true }
 
 // Bind attaches the scheduler's settle time and completion callback.
 func (b *CycleBackend) Bind(settleCycles int64, done func(*Job, error)) {
@@ -141,6 +157,7 @@ func (b *CycleBackend) Dispatch(j *Job, app *App) {
 		return
 	}
 	j.Reprogrammed = true
+	b.scrubbed = false // the reprogram re-establishes real resident state
 	fast := b.ad.FastClock()
 	toggles := int64(len(b.ad.Hubs()))
 	if toggles == 0 {

@@ -13,12 +13,16 @@ import (
 // so the cycle and model backends fail identically).
 //
 //   - A wedged reprogram (an error wrapping ErrWedged) quarantines the
-//     worker for the rest of the run — mirroring the driver's ProgWedged
-//     outcome, where a fabric that never acknowledges its programming
-//     engine cannot be trusted with further placements — and re-queues
-//     the victim job within a bounded retry budget. Followers steer to
-//     the remaining healthy workers, or to the CPU soft path under the
-//     Hybrid policy's existing spill decision.
+//     worker — mirroring the driver's ProgWedged outcome, where a fabric
+//     that never acknowledges its programming engine cannot be trusted
+//     with further placements — and re-queues the victim job within a
+//     bounded retry budget. Followers steer to the remaining healthy
+//     workers, or to the CPU soft path under the Hybrid policy's
+//     existing spill decision. Without a repair process the quarantine
+//     is permanent; with one (FaultConfig.Repair) the worker returns to
+//     service after the configured delay on probation — its backend is
+//     scrubbed, so the first placement pays a full probationary
+//     re-reprogram and can wedge again.
 //   - Shard downtime (FaultConfig.Down) kills every queued job and
 //     refuses submissions while a window is open; in-flight jobs run to
 //     completion (the replica's workers are modeled as surviving the
@@ -72,6 +76,13 @@ type FaultConfig struct {
 	// Entering a window kills every queued job and refuses submissions
 	// until it closes; in-flight jobs complete.
 	Down []Downtime
+	// Repair, when set, is consulted at each quarantine: it returns the
+	// repair delay for the nth lifetime wedge of the given worker (nth
+	// counts from 1). A positive delay schedules a repair event that far
+	// in the future; zero or negative means this quarantine is permanent.
+	// The callback must be a pure function of (worker, nth) so the cycle
+	// and model backends schedule identical repair instants.
+	Repair func(worker, nth int) sim.Time
 }
 
 // syncFaults advances the downtime state machine to now. It runs at
@@ -150,20 +161,29 @@ func (s *Scheduler) purgeExpired(now sim.Time) {
 	s.queue = kept
 }
 
-// quarantine marks worker w untrusted for the rest of the run: no policy
-// places on it again (see usable). Queued jobs that fit no remaining
-// usable worker are retired immediately with ErrUnavailable instead of
-// waiting forever.
+// quarantine marks worker w untrusted: no policy places on it until a
+// repair returns it to service (see usable) — without a repair process,
+// never. Queued jobs that fit no remaining usable worker and cannot
+// outwait a pending repair are retired immediately with ErrUnavailable
+// instead of waiting forever.
 func (s *Scheduler) quarantine(w *worker, now sim.Time) {
 	if w.quarantined {
 		return
 	}
 	w.quarantined = true
+	w.wedgeCount++
+	w.quarantinedAt = now
 	s.nQuarantined++
 	s.observeQuarantine(now, w.id)
+	if rf := s.cfg.Faults.Repair; rf != nil {
+		if d := rf(w.id, w.wedgeCount); d > 0 {
+			w.repairPending = true
+			s.tl.AfterArg(d, s.repairFn, w)
+		}
+	}
 	kept := s.queue[:0]
 	for _, j := range s.queue {
-		if s.placeable(j) {
+		if s.placeableEventually(j) {
 			kept = append(kept, j)
 			continue
 		}
@@ -172,6 +192,46 @@ func (s *Scheduler) quarantine(w *worker, now sim.Time) {
 		s.retire(j)
 	}
 	s.queue = kept
+}
+
+// repair is the scheduled repair-event callback: it returns a
+// quarantined worker to service on probation. The backend is scrubbed
+// (the probationary re-reprogram: its next placement pays the full
+// reconfiguration cost), the time spent in quarantine is charged, and
+// dispatch runs immediately — jobs that were queued waiting for this
+// repair place right away.
+func (s *Scheduler) repair(w *worker) {
+	if !w.quarantined || !w.repairPending {
+		return
+	}
+	now := s.tl.Now()
+	s.syncFaults(now)
+	w.quarantined = false
+	w.repairPending = false
+	w.probation = true
+	s.nQuarantined--
+	s.repairs++
+	s.quarantineTime += now - w.quarantinedAt
+	if sc, ok := w.be.(Scrubber); ok {
+		sc.Scrub()
+	}
+	s.observeRepair(now, w.id, now-w.quarantinedAt)
+	s.dispatch(now)
+}
+
+// placeableEventually is placeable extended with repair-pending workers:
+// a job whose only fitting workers are quarantined but being repaired
+// stays queued for the repair instead of dying.
+func (s *Scheduler) placeableEventually(j *Job) bool {
+	for _, w := range s.workers {
+		if !j.app.BS.Res.Fits(w.be.Capacity()) {
+			continue
+		}
+		if s.usable(w) || (w.quarantined && w.repairPending) {
+			return true
+		}
+	}
+	return false
 }
 
 // placeable reports whether some usable worker can hold j's bitstream —
@@ -193,8 +253,16 @@ func (s *Scheduler) placeable(j *Job) bool {
 func (s *Scheduler) completeWedged(w *worker, j *Job, err error, now sim.Time) {
 	s.wedges++
 	s.observeWedge(now, w.id)
+	if w.probation {
+		// The probationary re-reprogram itself wedged: a flapping fabric.
+		// The re-quarantine below restarts the backoff ladder from the
+		// worker's (now larger) lifetime wedge count.
+		w.probation = false
+		s.probationFails++
+		s.observeProbationFail(now, w.id)
+	}
 	s.quarantine(w, now)
-	if j.Retries < s.cfg.Faults.MaxRetries && s.placeable(j) {
+	if j.Retries < s.cfg.Faults.MaxRetries && s.placeableEventually(j) {
 		j.Retries++
 		s.retries++
 		// The wedged attempt's outcome fields are stale, not final:
@@ -212,8 +280,8 @@ func (s *Scheduler) completeWedged(w *worker, j *Job, err error, now sim.Time) {
 	s.release(w, now)
 }
 
-// QuarantinedWorkers reports how many workers have been quarantined by
-// wedged reprograms so far.
+// QuarantinedWorkers reports how many workers are currently quarantined
+// by wedged reprograms (repairs return workers to the healthy count).
 func (s *Scheduler) QuarantinedWorkers() int { return s.nQuarantined }
 
 // HealthyWorkers reports the workers still accepting placements.

@@ -50,6 +50,14 @@ type Observer interface {
 	// ObserveQuarantine fires once per worker removed from service by a
 	// wedged reprogram (after the wedge's ObserveWedge).
 	ObserveQuarantine(at sim.Time, worker int)
+	// ObserveRepair fires when a scheduled repair returns a quarantined
+	// worker to service on probation; quarantined is the time the worker
+	// spent out of service.
+	ObserveRepair(at sim.Time, worker int, quarantined sim.Time)
+	// ObserveProbationFail fires when a repaired worker's probationary
+	// re-reprogram wedges again (before the re-quarantine's
+	// ObserveQuarantine).
+	ObserveProbationFail(at sim.Time, worker int)
 }
 
 // SetObserver attaches an observer to the scheduler (nil detaches). Set
@@ -109,5 +117,17 @@ func (s *Scheduler) observeTimeout(at sim.Time) {
 func (s *Scheduler) observeQuarantine(at sim.Time, worker int) {
 	if s.obs != nil {
 		s.obs.ObserveQuarantine(at, worker)
+	}
+}
+
+func (s *Scheduler) observeRepair(at sim.Time, worker int, quarantined sim.Time) {
+	if s.obs != nil {
+		s.obs.ObserveRepair(at, worker, quarantined)
+	}
+}
+
+func (s *Scheduler) observeProbationFail(at sim.Time, worker int) {
+	if s.obs != nil {
+		s.obs.ObserveProbationFail(at, worker)
 	}
 }

@@ -138,8 +138,18 @@ type worker struct {
 	id          int
 	be          Backend
 	busy        bool
-	quarantined bool // wedged mid-reprogram; never placed on again
-	busyAt      sim.Time
+	quarantined bool // wedged mid-reprogram; out of service until repaired
+	// Repair state (see faults.go): repairPending is true while a
+	// scheduled repair event is in flight for this quarantine;
+	// quarantinedAt stamps the quarantine instant for time-in-quarantine
+	// accounting; wedgeCount is the lifetime wedge total driving the
+	// repair backoff; probation is set by a repair and cleared by the
+	// first successful completion (or the next wedge).
+	repairPending bool
+	probation     bool
+	wedgeCount    int
+	quarantinedAt sim.Time
+	busyAt        sim.Time
 	// estFree is the analytic estimate of when the worker frees up,
 	// charged at dispatch from the backend's reconfig + service model —
 	// what the hybrid policy weighs CPU spill against.
@@ -167,11 +177,18 @@ type Scheduler struct {
 	down    bool
 
 	// Fault counters (see faults.go and Stats).
-	wedges       int
-	retries      int
-	timedOut     int
-	unavailable  int
-	nQuarantined int
+	wedges         int
+	retries        int
+	timedOut       int
+	unavailable    int
+	nQuarantined   int
+	repairs        int
+	probationFails int
+	quarantineTime sim.Time
+
+	// repairFn is the pre-built repair-event callback (one allocation per
+	// scheduler, not per quarantine); AfterArg carries the worker as arg.
+	repairFn func(any)
 
 	// hasFabric records whether any worker is fabric-class: when true,
 	// the classic policies never place on CPU soft-path workers — those
@@ -220,6 +237,7 @@ func New(tl Timeline, backends []Backend, cfg Config) *Scheduler {
 		cfg.SettleCycles = defaultSettleCycles
 	}
 	s := &Scheduler{tl: tl, cfg: cfg, apps: make(map[string]*App)}
+	s.repairFn = func(a any) { s.repair(a.(*worker)) }
 	if cfg.Stats == StatsStreaming {
 		s.agg = &aggregate{}
 	}
@@ -234,7 +252,8 @@ func New(tl Timeline, backends []Backend, cfg Config) *Scheduler {
 }
 
 // usable reports whether the configured policy may place jobs on worker
-// w: quarantined workers never take another placement, and CPU soft-path
+// w: quarantined workers take no placements until a repair returns them
+// to service (never, without a repair process), and CPU soft-path
 // workers are spill capacity only — reserved for the Hybrid policy
 // whenever fabric-class workers exist.
 func (s *Scheduler) usable(w *worker) bool {
@@ -328,7 +347,9 @@ func (s *Scheduler) Submit(j *Job) bool {
 		if !app.BS.Res.Fits(w.be.Capacity()) {
 			continue
 		}
-		if s.usable(w) {
+		// A quarantined worker with a repair in flight still counts as a
+		// fit: the job waits in the queue for the repair instead of dying.
+		if s.usable(w) || (w.quarantined && w.repairPending) {
 			fits = true
 			break
 		}
@@ -416,6 +437,10 @@ func (s *Scheduler) complete(j *Job, err error) {
 		if j.Reprogrammed {
 			w.reconfigs++
 		}
+		// A clean completion ends a repaired worker's probation: it has
+		// re-proved itself (the next wedge restarts the backoff ladder
+		// from its lifetime wedge count either way).
+		w.probation = false
 	}
 	s.retire(j)
 	s.release(w, now)

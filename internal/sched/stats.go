@@ -94,12 +94,18 @@ type Stats struct {
 	// past their deadline, and jobs killed or refused by shard outages
 	// or full quarantine. Wedges counts wedged reprogram attempts,
 	// Retries the victim re-queues they triggered, and Quarantined the
-	// workers lost to them.
-	TimedOut    int
-	Unavailable int
-	Wedges      int
-	Retries     int
-	Quarantined int
+	// workers currently lost to them. Repairs counts quarantined workers
+	// returned to service, ProbationFails the probationary re-reprograms
+	// that wedged again, and QuarantineTime the total simulated time
+	// repaired workers spent out of service.
+	TimedOut       int
+	Unavailable    int
+	Wedges         int
+	Retries        int
+	Quarantined    int
+	Repairs        int
+	ProbationFails int
+	QuarantineTime sim.Time
 
 	Makespan        sim.Time // latest completion instant
 	ThroughputPerMS float64  // completed jobs per simulated millisecond
@@ -197,6 +203,9 @@ func (s *Scheduler) fabricStats(st Stats) Stats {
 	st.Wedges = s.wedges
 	st.Retries = s.retries
 	st.Quarantined = s.nQuarantined
+	st.Repairs = s.repairs
+	st.ProbationFails = s.probationFails
+	st.QuarantineTime = s.quarantineTime
 	for _, w := range s.workers {
 		fs := FabricStats{
 			Name: w.be.Name(), Jobs: w.jobs, Reconfigs: w.reconfigs, Busy: w.busyTotal,

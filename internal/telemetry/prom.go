@@ -71,6 +71,8 @@ func WriteProm(w io.Writer, ns string, r *Recorder) error {
 		{"retries_total", "Wedge-victim jobs re-queued within their retry budget.", s.Retries},
 		{"timeouts_total", "Queued jobs dropped past their deadline.", s.Timeouts},
 		{"quarantines_total", "Workers removed from service by wedged reprograms.", s.Quarantines},
+		{"repairs_total", "Quarantined workers returned to service on probation.", s.Repairs},
+		{"probation_failures_total", "Probationary re-reprograms that wedged again.", s.ProbationFails},
 		{"goodput_total", "Completions that met their deadline.", s.Goodput},
 	}
 	for _, c := range counters {
@@ -78,6 +80,10 @@ func WriteProm(w io.Writer, ns string, r *Recorder) error {
 		p.metric(name, c.help, "counter")
 		p.intSample(name, "", int64(c.value))
 	}
+
+	name0 := ns + "_quarantine_seconds_total"
+	p.metric(name0, "Simulated time repaired workers spent quarantined.", "counter")
+	p.floatSample(name0, "", s.QuarantineTime.Seconds())
 
 	name := ns + "_queue_depth_max"
 	p.metric(name, "Run-wide admission-queue high-water mark.", "gauge")

@@ -58,9 +58,18 @@ duetsim_timeouts_total 0
 # HELP duetsim_quarantines_total Workers removed from service by wedged reprograms.
 # TYPE duetsim_quarantines_total counter
 duetsim_quarantines_total 0
+# HELP duetsim_repairs_total Quarantined workers returned to service on probation.
+# TYPE duetsim_repairs_total counter
+duetsim_repairs_total 0
+# HELP duetsim_probation_failures_total Probationary re-reprograms that wedged again.
+# TYPE duetsim_probation_failures_total counter
+duetsim_probation_failures_total 0
 # HELP duetsim_goodput_total Completions that met their deadline.
 # TYPE duetsim_goodput_total counter
 duetsim_goodput_total 2
+# HELP duetsim_quarantine_seconds_total Simulated time repaired workers spent quarantined.
+# TYPE duetsim_quarantine_seconds_total counter
+duetsim_quarantine_seconds_total 0
 # HELP duetsim_queue_depth_max Run-wide admission-queue high-water mark.
 # TYPE duetsim_queue_depth_max gauge
 duetsim_queue_depth_max 2

@@ -30,10 +30,16 @@ type WindowRow struct {
 	// Goodput is the completions that met their deadline, DeadlineMisses
 	// the ones that did not. All omit when zero, so a fault-free run's
 	// series keeps its pre-fault shape.
-	Wedges         int        `json:"wedges,omitempty"`
-	Retries        int        `json:"retries,omitempty"`
-	Timeouts       int        `json:"timeouts,omitempty"`
-	Quarantines    int        `json:"quarantines,omitempty"`
+	Wedges      int `json:"wedges,omitempty"`
+	Retries     int `json:"retries,omitempty"`
+	Timeouts    int `json:"timeouts,omitempty"`
+	Quarantines int `json:"quarantines,omitempty"`
+	// Recovery counters: repairs landing in the window, probationary
+	// re-reprograms that wedged again, and the quarantine time the
+	// window's repairs repaid (booked at the repair instant).
+	Repairs        int        `json:"repairs,omitempty"`
+	ProbationFails int        `json:"probation_fails,omitempty"`
+	QuarantineTime sim.Time   `json:"quarantine_time,omitempty"`
 	DeadlineMisses int        `json:"deadline_misses,omitempty"`
 	Goodput        int        `json:"goodput,omitempty"`
 	QueueMax       int        `json:"queue_max"`
@@ -84,6 +90,9 @@ func (r *Recorder) Series() []WindowRow {
 			Retries:        w.retries,
 			Timeouts:       w.timeouts,
 			Quarantines:    w.quarantines,
+			Repairs:        w.repairs,
+			ProbationFails: w.probFails,
+			QuarantineTime: w.quarTime,
 			DeadlineMisses: w.misses,
 			Goodput:        w.completions - w.misses,
 			QueueMax:       w.queueMax,
@@ -116,6 +125,8 @@ type Summary struct {
 
 	Arrivals, Completions, Failures, Rejects, Reprograms, Spills int
 	Wedges, Retries, Timeouts, Quarantines                       int
+	Repairs, ProbationFails                                      int
+	QuarantineTime                                               sim.Time
 	DeadlineMisses, Goodput                                      int
 	QueueMax                                                     int
 
@@ -155,6 +166,9 @@ func Summarize(rows []WindowRow) Summary {
 		s.Retries += r.Retries
 		s.Timeouts += r.Timeouts
 		s.Quarantines += r.Quarantines
+		s.Repairs += r.Repairs
+		s.ProbationFails += r.ProbationFails
+		s.QuarantineTime += r.QuarantineTime
 		s.DeadlineMisses += r.DeadlineMisses
 		s.Goodput += r.Goodput
 		if r.QueueMax > s.QueueMax {
@@ -184,7 +198,7 @@ func Summarize(rows []WindowRow) Summary {
 
 // CSVHeader is the column order of the CSV series form. The per-worker
 // busy vector is JSON-only; CSV carries the totals.
-const CSVHeader = "window,start,end,arrivals,completions,failures,rejects,reprograms,spills,wedges,retries,timeouts,quarantines,deadline_misses,goodput,queue_max,busy_cpu,busy_total,utilization,p50,p99"
+const CSVHeader = "window,start,end,arrivals,completions,failures,rejects,reprograms,spills,wedges,retries,timeouts,quarantines,repairs,probation_fails,quarantine_time,deadline_misses,goodput,queue_max,busy_cpu,busy_total,utilization,p50,p99"
 
 // formatFloat renders a float shortest-round-trip — byte-stable for
 // equal values, the same contract encoding/json gives the JSON form.
@@ -196,9 +210,10 @@ func WriteCSV(w io.Writer, rows []WindowRow) error {
 		return err
 	}
 	for _, r := range rows {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
 			r.Window, int64(r.Start), int64(r.End), r.Arrivals, r.Completions, r.Failures,
 			r.Rejects, r.Reprograms, r.Spills, r.Wedges, r.Retries, r.Timeouts, r.Quarantines,
+			r.Repairs, r.ProbationFails, int64(r.QuarantineTime),
 			r.DeadlineMisses, r.Goodput, r.QueueMax, int64(r.BusyCPU), int64(r.BusyTotal),
 			formatFloat(r.Utilization), int64(r.P50), int64(r.P99))
 		if err != nil {
@@ -221,8 +236,8 @@ func ParseCSV(data string) ([]WindowRow, error) {
 			continue
 		}
 		f := strings.Split(line, ",")
-		if len(f) != 21 {
-			return nil, fmt.Errorf("telemetry: CSV line %d has %d fields, want 21", ln+2, len(f))
+		if len(f) != 24 {
+			return nil, fmt.Errorf("telemetry: CSV line %d has %d fields, want 24", ln+2, len(f))
 		}
 		var r WindowRow
 		var err error
@@ -233,8 +248,9 @@ func ParseCSV(data string) ([]WindowRow, error) {
 			{&r.Window, f[0]}, {&r.Arrivals, f[3]}, {&r.Completions, f[4]},
 			{&r.Failures, f[5]}, {&r.Rejects, f[6]}, {&r.Reprograms, f[7]},
 			{&r.Spills, f[8]}, {&r.Wedges, f[9]}, {&r.Retries, f[10]},
-			{&r.Timeouts, f[11]}, {&r.Quarantines, f[12]}, {&r.DeadlineMisses, f[13]},
-			{&r.Goodput, f[14]}, {&r.QueueMax, f[15]},
+			{&r.Timeouts, f[11]}, {&r.Quarantines, f[12]}, {&r.Repairs, f[13]},
+			{&r.ProbationFails, f[14]}, {&r.DeadlineMisses, f[16]},
+			{&r.Goodput, f[17]}, {&r.QueueMax, f[18]},
 		}
 		for _, c := range ints {
 			if *c.dst, err = strconv.Atoi(c.src); err != nil {
@@ -245,8 +261,8 @@ func ParseCSV(data string) ([]WindowRow, error) {
 			dst *sim.Time
 			src string
 		}{
-			{&r.Start, f[1]}, {&r.End, f[2]}, {&r.BusyCPU, f[16]},
-			{&r.BusyTotal, f[17]}, {&r.P50, f[19]}, {&r.P99, f[20]},
+			{&r.Start, f[1]}, {&r.End, f[2]}, {&r.QuarantineTime, f[15]},
+			{&r.BusyCPU, f[19]}, {&r.BusyTotal, f[20]}, {&r.P50, f[22]}, {&r.P99, f[23]},
 		}
 		for _, c := range times {
 			v, err := strconv.ParseInt(c.src, 10, 64)
@@ -255,7 +271,7 @@ func ParseCSV(data string) ([]WindowRow, error) {
 			}
 			*c.dst = sim.Time(v)
 		}
-		if r.Utilization, err = strconv.ParseFloat(f[18], 64); err != nil {
+		if r.Utilization, err = strconv.ParseFloat(f[21], 64); err != nil {
 			return nil, fmt.Errorf("telemetry: CSV line %d: %w", ln+2, err)
 		}
 		rows = append(rows, r)

@@ -75,7 +75,10 @@ type window struct {
 	retries     int
 	timeouts    int
 	quarantines int
-	misses      int // completions past their deadline (goodput = completions - misses)
+	repairs     int
+	probFails   int
+	quarTime    sim.Time // quarantine time repaid by repairs landing in this window
+	misses      int      // completions past their deadline (goodput = completions - misses)
 	queueMax    int
 	busy        []sim.Time // per worker, indexed like kinds
 	sojourns    sched.Digest
@@ -254,6 +257,23 @@ func (r *Recorder) ObserveQuarantine(at sim.Time, worker int) {
 	r.note(at)
 }
 
+// ObserveRepair counts a repaired worker in the window its repair landed
+// in, and attributes the whole quarantine stretch it ends to that window
+// (time-in-quarantine is booked at repayment, like a latency sample).
+func (r *Recorder) ObserveRepair(at sim.Time, worker int, quarantined sim.Time) {
+	w := r.win(at)
+	r.note(at)
+	w.repairs++
+	w.quarTime += quarantined
+}
+
+// ObserveProbationFail counts a repaired worker's probationary
+// re-reprogram wedging again, in its detection window.
+func (r *Recorder) ObserveProbationFail(at sim.Time, worker int) {
+	r.win(at).probFails++
+	r.note(at)
+}
+
 // Merge combines per-shard recorders into one fresh cluster-wide
 // recorder; nil inputs are skipped and a nil result means no input
 // carried telemetry. Window i of the result is the exact combination of
@@ -307,6 +327,9 @@ func Merge(rs ...*Recorder) (*Recorder, error) {
 			dst.retries += src.retries
 			dst.timeouts += src.timeouts
 			dst.quarantines += src.quarantines
+			dst.repairs += src.repairs
+			dst.probFails += src.probFails
+			dst.quarTime += src.quarTime
 			dst.misses += src.misses
 			if src.queueMax > dst.queueMax {
 				dst.queueMax = src.queueMax

@@ -37,6 +37,13 @@ type ChaosResult struct {
 	Wedges      int
 	Retries     int
 	Quarantined int
+	// Recovery counters (omitted when zero, so pre-recovery goldens keep
+	// their bytes): repairs returning wedged fabrics to service, their
+	// probationary failures, and the total time repaired fabrics spent
+	// quarantined.
+	Repairs        int      `json:",omitempty"`
+	ProbationFails int      `json:",omitempty"`
+	QuarantineTime sim.Time `json:",omitempty"`
 
 	// Front-end fault-pass actions.
 	Rerouted int
@@ -57,7 +64,10 @@ type ChaosResult struct {
 
 // ChaosScenarioNames lists the named scenarios in their canonical order.
 func ChaosScenarioNames() []string {
-	return []string{"wedge-storm", "shard-crash-rejoin", "deadline-burst"}
+	return []string{
+		"wedge-storm", "shard-crash-rejoin", "deadline-burst",
+		"quarantine-heal", "rack-outage", "flapping-fabric",
+	}
 }
 
 // chaosConfig materializes a named scenario: workload and fault plan,
@@ -104,8 +114,81 @@ func chaosConfig(name string) (ClusterConfig, error) {
 			},
 			Shards: 2, FrontEnd: cluster.RoundRobin,
 		}, nil
+	case "quarantine-heal":
+		// Wedged fabrics come back: quarantine is transient under a
+		// repair process, so the pool degrades, heals, and keeps serving
+		// instead of ratcheting down to permanent losses.
+		return ClusterConfig{
+			ServeConfig: ServeConfig{
+				Policy: sched.Affinity, EFPGAs: 2,
+				Jobs: 500, Seed: 13, MeanGapUS: 40, Windows: 6,
+				Faults: &faults.Plan{
+					Seed: 13, WedgeProb: 0.12, MaxRetries: 2,
+					RepairDelay: 500 * sim.US,
+				},
+			},
+			Shards: 2, FrontEnd: cluster.RoundRobin,
+		}, nil
+	case "rack-outage":
+		// A whole rack (shards 0 and 1) goes dark mid-run: the
+		// health-weighted front end steers around the domain, and the
+		// recovery hold ramps traffic back after the rejoin instead of
+		// slamming the returning shards.
+		return ClusterConfig{
+			ServeConfig: ServeConfig{
+				Policy: sched.Affinity, EFPGAs: 2,
+				Jobs: 600, Seed: 17, MeanGapUS: 25, Windows: 6,
+				Faults: &faults.Plan{
+					Seed: 17,
+					Domains: []faults.Domain{{
+						Name: "rack0", Shards: []int{0, 1},
+						Down: []sched.Downtime{{From: 3 * sim.MS, To: 8 * sim.MS}},
+					}},
+					Hedge:       300 * sim.US,
+					RecoverHold: 2 * sim.MS,
+				},
+			},
+			Shards: 4, FrontEnd: cluster.HealthWeighted,
+		}, nil
+	case "flapping-fabric":
+		// One fabric wedges on every reprogram: each repair's probationary
+		// re-reprogram wedges again, backoff stretches successive repair
+		// delays, and the other fabric carries the shard meanwhile.
+		return ClusterConfig{
+			ServeConfig: ServeConfig{
+				Policy: sched.Affinity, EFPGAs: 2,
+				Jobs: 400, Seed: 23, MeanGapUS: 30, Windows: 6,
+				Faults: &faults.Plan{
+					Seed: 23, WedgeProbs: []float64{0.9, 0}, MaxRetries: 3,
+					RepairDelay: 200 * sim.US,
+				},
+			},
+			Shards: 2, FrontEnd: cluster.RoundRobin,
+		}, nil
 	}
 	return ClusterConfig{}, fmt.Errorf("workload: unknown chaos scenario %q (have %v)", name, ChaosScenarioNames())
+}
+
+// ChaosOverride adjusts a named scenario's fault plan from the command
+// line — the `duetsim chaos -repairdelay/-domains` knobs. The zero
+// override changes nothing, so default runs keep their golden outcomes.
+type ChaosOverride struct {
+	// RepairDelay, when positive, installs (or retunes) the plan's repair
+	// process: wedged fabrics return to service after seeded backoff
+	// delays derived from it.
+	RepairDelay sim.Time
+	// Domains, when non-empty, replaces the plan's correlated failure
+	// domains (see faults.ParseDomains for the flag syntax).
+	Domains []faults.Domain
+}
+
+func (ov ChaosOverride) apply(plan *faults.Plan) {
+	if ov.RepairDelay > 0 {
+		plan.RepairDelay = ov.RepairDelay
+	}
+	if len(ov.Domains) > 0 {
+		plan.Domains = ov.Domains
+	}
 }
 
 // RunChaos plays one named scenario on the given execution backend and
@@ -113,10 +196,17 @@ func chaosConfig(name string) (ClusterConfig, error) {
 // BackendHybrid when the scenario carries soft-path workers, so the
 // worker pool matches the model variant exactly.
 func RunChaos(name string, backend BackendMode) (ChaosResult, error) {
+	return RunChaosOverride(name, backend, ChaosOverride{})
+}
+
+// RunChaosOverride is RunChaos with the scenario's fault plan adjusted
+// by ov before the run.
+func RunChaosOverride(name string, backend BackendMode, ov ChaosOverride) (ChaosResult, error) {
 	cfg, err := chaosConfig(name)
 	if err != nil {
 		return ChaosResult{}, err
 	}
+	ov.apply(cfg.Faults)
 	switch {
 	case backend == BackendModel:
 		cfg.Backend = BackendModel
@@ -139,11 +229,14 @@ func RunChaos(name string, backend BackendMode) (ChaosResult, error) {
 		Failed:    m.Failed,
 		Rejected:  m.Rejected,
 
-		TimedOut:    m.TimedOut,
-		Unavailable: m.Unavailable,
-		Wedges:      m.Wedges,
-		Retries:     m.Retries,
-		Quarantined: m.Quarantined,
+		TimedOut:       m.TimedOut,
+		Unavailable:    m.Unavailable,
+		Wedges:         m.Wedges,
+		Retries:        m.Retries,
+		Quarantined:    m.Quarantined,
+		Repairs:        m.Repairs,
+		ProbationFails: m.ProbationFails,
+		QuarantineTime: m.QuarantineTime,
 
 		Rerouted: res.Rerouted,
 		Hedged:   res.Hedged,
@@ -168,12 +261,18 @@ func RunChaos(name string, backend BackendMode) (ChaosResult, error) {
 // `duetsim chaos -scenario all`. Pool width never changes the outcomes:
 // each scenario is an independent deterministic cluster run.
 func ChaosStudy(parallel int, names []string, backend BackendMode) ([]ChaosResult, error) {
+	return ChaosStudyOverride(parallel, names, backend, ChaosOverride{})
+}
+
+// ChaosStudyOverride is ChaosStudy with every scenario's fault plan
+// adjusted by ov before its run.
+func ChaosStudyOverride(parallel int, names []string, backend BackendMode, ov ChaosOverride) ([]ChaosResult, error) {
 	type out struct {
 		res ChaosResult
 		err error
 	}
 	pts := study.Map(parallel, names, func(n string) out {
-		r, err := RunChaos(n, backend)
+		r, err := RunChaosOverride(n, backend, ov)
 		return out{r, err}
 	})
 	results := make([]ChaosResult, len(pts))

@@ -72,6 +72,30 @@ func TestChaosFaultActivity(t *testing.T) {
 			}
 			return nil
 		},
+		"quarantine-heal": func(c ChaosResult) error {
+			if c.Wedges == 0 || c.Repairs == 0 {
+				return fmt.Errorf("expected wedges and repairs, got %d/%d", c.Wedges, c.Repairs)
+			}
+			if c.QuarantineTime == 0 {
+				return fmt.Errorf("repairs repaid no quarantine time")
+			}
+			return nil
+		},
+		"rack-outage": func(c ChaosResult) error {
+			// The health-weighted front end steers around the down domain,
+			// so nothing needs rerouting; the hedge pass still fires for
+			// arrivals placed on the rack just ahead of its crash.
+			if c.Hedged == 0 {
+				return fmt.Errorf("expected hedged duplicates ahead of the domain crash, got 0")
+			}
+			return nil
+		},
+		"flapping-fabric": func(c ChaosResult) error {
+			if c.Repairs < 2 || c.ProbationFails < 1 {
+				return fmt.Errorf("expected repeated repairs with probation failures, got %d/%d", c.Repairs, c.ProbationFails)
+			}
+			return nil
+		},
 	}
 	for _, name := range ChaosScenarioNames() {
 		cr, err := RunChaos(name, BackendModel)

@@ -125,7 +125,14 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 		},
 	}
 	if cfg.Faults != nil {
-		ccfg.Faults = &cluster.FaultSpec{ShardDown: cfg.Faults.ShardDown, Hedge: cfg.Faults.Hedge}
+		// The front end routes against each shard's *effective* outage
+		// schedule — its own windows merged with its failure domains' — so
+		// a domain event reroutes and hedges like any direct shard crash.
+		ccfg.Faults = &cluster.FaultSpec{
+			ShardDown:   cfg.Faults.EffectiveShardDown(cfg.Shards),
+			Hedge:       cfg.Faults.Hedge,
+			RecoverHold: cfg.Faults.RecoverHold,
+		}
 	}
 	res, err := cluster.Run(ccfg, stream)
 	if err != nil {

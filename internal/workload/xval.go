@@ -38,7 +38,8 @@ type XValRow struct {
 	// CountersMatch reports whether the job-accounting counters —
 	// completed, failed, rejected, reconfigs, deadline misses, makespan,
 	// and the fault-path counters (wedges, retries, quarantines,
-	// timeouts, unavailable) — agree exactly.
+	// timeouts, unavailable, repairs, probation failures, quarantine
+	// time) — agree exactly.
 	CountersMatch bool
 }
 
@@ -89,7 +90,10 @@ func CrossValidate(parallel int, cfgs []ServeConfig) []XValRow {
 				cy.Unavailable == md.Unavailable &&
 				cy.Wedges == md.Wedges &&
 				cy.Retries == md.Retries &&
-				cy.Quarantined == md.Quarantined,
+				cy.Quarantined == md.Quarantined &&
+				cy.Repairs == md.Repairs &&
+				cy.ProbationFails == md.ProbationFails &&
+				cy.QuarantineTime == md.QuarantineTime,
 		}
 	}
 	return rows

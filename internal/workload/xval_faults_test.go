@@ -85,6 +85,39 @@ func TestCrossValidateUnderFaults(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "wedge-repair-cycle",
+			cfg: ServeConfig{
+				Policy: sched.Affinity, Jobs: 400, MeanGapUS: 40,
+				Faults: &faults.Plan{
+					Seed: 13, WedgeProb: 0.15, MaxRetries: 2,
+					RepairDelay: 400 * sim.US,
+				},
+			},
+			wants: func(t *testing.T, s sched.Stats) {
+				if s.Repairs == 0 || s.QuarantineTime == 0 {
+					t.Errorf("repair process returned nothing to service (repairs=%d quarantine=%v)", s.Repairs, s.QuarantineTime)
+				}
+			},
+		},
+		{
+			name: "domain-downtime",
+			cfg: ServeConfig{
+				Policy: sched.FIFO, Jobs: 300, MeanGapUS: 10, QueueCap: 1024,
+				Faults: &faults.Plan{
+					Seed: 6,
+					Domains: []faults.Domain{{
+						Name: "rack", Shards: []int{0},
+						Down: []sched.Downtime{{From: 200 * sim.US, To: 1200 * sim.US}},
+					}},
+				},
+			},
+			wants: func(t *testing.T, s sched.Stats) {
+				if s.Unavailable == 0 {
+					t.Errorf("domain window refused nothing")
+				}
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

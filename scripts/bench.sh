@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 run_benches() {
     go test -run '^$' -bench 'BenchmarkEngineSchedule$|BenchmarkEngineClockTicks$|BenchmarkEngineSameInstantBurst$|BenchmarkThreadPingPong$' -benchtime 200000x ./internal/sim
-    go test -run '^$' -bench 'BenchmarkServeModel1M$|BenchmarkServeStream1M$|BenchmarkServeFaultFree$' -benchtime 1x .
+    go test -run '^$' -bench 'BenchmarkServeModel1M$|BenchmarkServeStream1M$|BenchmarkServeFaultFree$|BenchmarkServeRecovery$' -benchtime 1x .
 }
 
 case "${1:-snapshot}" in
