@@ -334,6 +334,31 @@ func BenchmarkServeStream1M(b *testing.B) { benchServe1M(b, workload.BackendCycl
 // BenchmarkServeStream1M.
 func BenchmarkServeModel1M(b *testing.B) { benchServe1M(b, workload.BackendModel) }
 
+// BenchmarkServeModel100M is the capacity-planning run: one hundred
+// million offered jobs through the same 4-shard model-backend cluster,
+// on the streaming pipeline (ServeCluster) with arrival generation
+// inside the timed region — the streaming path fuses generation into
+// the run, so there is no stream to pre-draw off the clock. Peak
+// memory stays flat at any job count (PERF.md records the measured
+// capacity ceiling); the snapshot entry gates the fused pipeline's
+// per-job cost end to end.
+func BenchmarkServeModel100M(b *testing.B) {
+	const jobs = 100_000_000
+	cfg := serveStream1MConfig(workload.BackendModel)
+	cfg.ServeConfig.Jobs = jobs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := workload.ServeCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Merged.Completed != jobs {
+			b.Fatalf("completed %d of 100M", r.Merged.Completed)
+		}
+	}
+	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // BenchmarkServeFaultFree is BenchmarkServeModel1M with an empty fault
 // plan wired in: the injection seam installed on every worker (wrapper
 // dispatch, scheduler fault checks) but never firing. Its snapshot

@@ -55,12 +55,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"slices"
+	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -78,7 +81,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (faster, less stable numbers)")
 	seed := flag.Int64("seed", 1, "serve/cluster: arrival-process seed")
-	jobs := flag.Int("jobs", 240, "serve/cluster: offered jobs")
+	jobsFlag := flag.String("jobs", "240", "serve/cluster/xval: offered jobs; suffixes and scientific notation accepted (250M, 1e9, 2.5k)")
 	efpgas := flag.Int("efpgas", 2, "serve/cluster: number of eFPGAs (per shard)")
 	shards := flag.Int("shards", 4, "cluster: number of Duet replicas")
 	parallel := flag.Int("parallel", 0, "study-pool width for sweep commands; 0 = GOMAXPROCS, output identical at every width")
@@ -87,6 +90,8 @@ func main() {
 	backend := flag.String("backend", "cycle", "serve/cluster execution backend: cycle (Dolly instance), model (analytic fast path), hybrid (cycle + CPU soft-path spill)")
 	softCPUs := flag.Int("softcpus", 0, "serve/cluster: CPU soft-path workers per replica (hybrid backend defaults to 1)")
 	windows := flag.Int("windows", 0, "serve/cluster: record a flight-recorder series over N simulated-time windows (0 = off)")
+	progress := flag.Bool("progress", false, "serve/cluster: print progress lines (jobs done, sim time, live heap) to stderr every 2s")
+	lookahead := flag.Int("lookahead", 0, "cluster: streaming hand-off lookahead per shard for the stateful front ends — arrivals the router may run ahead of a shard (0 = default 4096; results identical at any bound)")
 	scenario := flag.String("scenario", "all", "chaos: named fault scenario (see chaos -list) or all")
 	chaosList := flag.Bool("list", false, "chaos: print the named scenarios and exit")
 	outPath := flag.String("out", "", "redirect stdout to `file` (report reads such files back with -in)")
@@ -140,6 +145,11 @@ func main() {
 	mode, err := sched.StatsModeByName(*statsMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "duetsim: %v\n", err)
+		os.Exit(2)
+	}
+	jobs, err := parseJobs(*jobsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "duetsim: -jobs: %v\n", err)
 		os.Exit(2)
 	}
 	beMode, err := workload.BackendModeByName(*backend)
@@ -213,9 +223,9 @@ loop:
 		case "study":
 			studyCmd(*parallel, *quick, *jsonOut)
 		case "serve":
-			serve(*parallel, *seed, *jobs, *efpgas, mode, beMode, *softCPUs, *windows, *jsonOut)
+			serve(*parallel, *seed, jobs, *efpgas, mode, beMode, *softCPUs, *windows, *progress, *jsonOut)
 		case "cluster":
-			if err := clusterCmd(*parallel, *seed, *jobs, *efpgas, *shards, mode, beMode, *softCPUs, *windows, *jsonOut); err != nil {
+			if err := clusterCmd(*parallel, *seed, jobs, *efpgas, *shards, mode, beMode, *softCPUs, *windows, *progress, *lookahead, *jsonOut); err != nil {
 				fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
 				code = 1
 				break loop
@@ -249,7 +259,7 @@ loop:
 				break loop
 			}
 		case "xval":
-			if !xval(*parallel, *seed, *jobs, *efpgas, mode, *tolerance, *jsonOut) {
+			if !xval(*parallel, *seed, jobs, *efpgas, mode, *tolerance, *jsonOut) {
 				code = 1
 				break loop
 			}
@@ -294,6 +304,97 @@ loop:
 	if code != 0 {
 		os.Exit(code)
 	}
+}
+
+// parseJobs parses the -jobs count: a plain integer, an integer or
+// decimal with a scale suffix (2k, 250M, 1G, 1B — case-insensitive,
+// B and G both a billion), or scientific notation (1e9, 2.5e7). The
+// value must come out a positive whole number of jobs.
+func parseJobs(s string) (int, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	if n := len(t); n > 0 {
+		switch t[n-1] {
+		case 'k', 'K':
+			mult, t = 1e3, t[:n-1]
+		case 'm', 'M':
+			mult, t = 1e6, t[:n-1]
+		case 'g', 'G', 'b', 'B':
+			mult, t = 1e9, t[:n-1]
+		}
+	}
+	var jobs int64
+	if n, err := strconv.ParseInt(t, 10, 64); err == nil {
+		if n != 0 && (n > math.MaxInt64/mult || n < math.MinInt64/mult) {
+			return 0, fmt.Errorf("job count %q overflows", s)
+		}
+		jobs = n * mult
+	} else {
+		f, ferr := strconv.ParseFloat(t, 64)
+		if ferr != nil {
+			return 0, fmt.Errorf("cannot parse job count %q", s)
+		}
+		f *= float64(mult)
+		if f != math.Trunc(f) {
+			return 0, fmt.Errorf("job count %q is not a whole number of jobs", s)
+		}
+		if f >= math.MaxInt64 || f <= math.MinInt64 {
+			return 0, fmt.Errorf("job count %q overflows", s)
+		}
+		jobs = int64(f)
+	}
+	if jobs <= 0 {
+		return 0, fmt.Errorf("job count %q is not positive", s)
+	}
+	if jobs > math.MaxInt {
+		return 0, fmt.Errorf("job count %q overflows", s)
+	}
+	return int(jobs), nil
+}
+
+// startProgress starts the -progress reporter: a background ticker
+// printing a stderr line every 2 s with jobs delivered, the percentage
+// of the expected total, the simulated-time high-water mark and the
+// live heap. Returns the Progress sink to wire into run configs and a
+// stop function that prints one final line; when off, both are no-ops
+// (a nil *cluster.Progress disables every tap on the hot path).
+func startProgress(enabled bool, total int) (*cluster.Progress, func()) {
+	if !enabled {
+		return nil, func() {}
+	}
+	p := &cluster.Progress{}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				printProgress(p, total)
+			}
+		}
+	}()
+	return p, func() {
+		once.Do(func() {
+			close(done)
+			printProgress(p, total)
+		})
+	}
+}
+
+func printProgress(p *cluster.Progress, total int) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	jobs := p.Jobs()
+	pct := ""
+	if total > 0 {
+		pct = fmt.Sprintf(" (%.1f%%)", 100*float64(jobs)/float64(total))
+	}
+	fmt.Fprintf(os.Stderr, "progress: %d jobs%s, sim %v, heap %d MB\n",
+		jobs, pct, p.SimAt(), ms.HeapAlloc>>20)
 }
 
 // samePath reports whether two paths name the same file: equal after
@@ -346,7 +447,7 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-windows N] [-scenario S] [-out F] [-in F] [-csv] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|chaos|report|daemon|loadgen|all}...")
+	fmt.Fprintln(os.Stderr, "usage: duetsim [-quick] [-seed N] [-jobs N|250M|1e9] [-efpgas N] [-shards N] [-parallel N] [-json] [-stats exact|stream] [-backend cycle|model|hybrid] [-softcpus N] [-windows N] [-progress] [-lookahead N] [-scenario S] [-out F] [-in F] [-csv] [-tolerance F] [-cpuprofile F] [-memprofile F] {table1|table2|fig9|fig10|fig11|fig12|ablate|study|serve|cluster|xval|chaos|report|daemon|loadgen|all}...")
 	fmt.Fprintln(os.Stderr, "  daemon flags: [-listen A] [-policy P] [-queuecap N] [-maxinflight N] [-timescale F] [-windowms F] [-backend ...] [-efpgas N] [-softcpus N] [-wedgeprob F] [-retries N] [-faultseed N] [-repairdelay N] [-domains S]")
 	fmt.Fprintln(os.Stderr, "  chaos flags: [-scenario S|all] [-list] [-repairdelay N] [-domains S] [-parallel N] [-backend cycle|model] [-json]")
 	fmt.Fprintln(os.Stderr, "  loadgen flags: [-target URL] [-mode closed|open] [-concurrency N] [-rate F] [-duration D] [-requests N] [-apps A,B] [-tenants a:3,b:1] [-timeout D] [-seed N] [-json]")
@@ -562,15 +663,20 @@ func servePolicies(beMode workload.BackendMode) []sched.Policy {
 	return ps
 }
 
-func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs, windows int, jsonOut bool) {
+func serve(parallel int, seed int64, jobs, efpgas int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs, windows int, progress, jsonOut bool) {
+	policies := servePolicies(beMode)
+	prog, stopProgress := startProgress(progress, jobs*len(policies))
+	defer stopProgress()
 	var cfgs []workload.ServeConfig
-	for _, p := range servePolicies(beMode) {
+	for _, p := range policies {
 		cfgs = append(cfgs, workload.ServeConfig{
 			Policy: p, Seed: seed, Jobs: jobs, EFPGAs: efpgas, Stats: mode,
 			Backend: beMode, SoftCPUs: softCPUs, Windows: windows,
+			Progress: prog,
 		})
 	}
 	results := workload.ServeStudy(parallel, cfgs)
+	stopProgress()
 	if jsonOut {
 		emitJSON(struct {
 			Serve []workload.ServeResult `json:"serve"`
@@ -645,7 +751,7 @@ func toClusterRow(r workload.ClusterResult) clusterRow {
 	return row
 }
 
-func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs, windows int, jsonOut bool) error {
+func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.StatsMode, beMode workload.BackendMode, softCPUs, windows int, progress bool, lookahead int, jsonOut bool) error {
 	if shards <= 0 {
 		shards = 1
 	}
@@ -665,6 +771,7 @@ func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.S
 				},
 				Shards:   shards,
 				FrontEnd: fe,
+				Handoff:  lookahead,
 			})
 		}
 	}
@@ -681,7 +788,19 @@ func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.S
 			},
 			Shards:   sh,
 			FrontEnd: cluster.LeastOutstanding,
+			Handoff:  lookahead,
 		})
+	}
+	// The Progress sink tallies arrival deliveries across every study
+	// point (hedge duplicates can push the count slightly past the
+	// nominal total); it never influences results.
+	prog, stopProgress := startProgress(progress, jobs*(len(cfgs)+len(scaleCfgs)))
+	defer stopProgress()
+	for i := range cfgs {
+		cfgs[i].ServeConfig.Progress = prog
+	}
+	for i := range scaleCfgs {
+		scaleCfgs[i].ServeConfig.Progress = prog
 	}
 	table, err := workload.ClusterStudy(parallel, cfgs)
 	if err != nil {
@@ -691,6 +810,7 @@ func clusterCmd(parallel int, seed int64, jobs, efpgas, shards int, mode sched.S
 	if err != nil {
 		return err
 	}
+	stopProgress()
 	base := scaling[0].Merged.ThroughputPerMS
 	var scaleRows []scalingRow
 	for _, r := range scaling {

@@ -12,10 +12,13 @@
 // (seed, shards, front end, per-shard configs) regardless of goroutine
 // interleaving. Three properties deliver it:
 //
-//  1. The arrival stream is generated up front as a pure function of the
-//     seed, and the front end assigns it across shards in a sequential
-//     pre-pass (see frontend.go) — routing never observes live shard
-//     state, only each shard's catalog model (Predict/Workers).
+//  1. The arrival stream is a pure function of the seed, and the front
+//     end's routing decisions are a pure function of the stream, the
+//     shard count, and each shard's catalog model (Predict/Workers) —
+//     routing never observes live shard state. Run realizes this as a
+//     sequential pre-pass over a materialized stream; RunSource
+//     (stream.go) realizes the identical decision sequence online, off
+//     an O(1)-memory generator, without ever building the stream.
 //  2. Each shard's simulation is a deterministic run over state nothing
 //     else touches; per-shard seeds are derived from the cluster seed
 //     (ShardSeed) for any replica-local draws.
@@ -52,6 +55,11 @@ type Replica interface {
 	// and returns the harvested results. The stream is shared across
 	// shards: a replica may mutate only its own assigned entries.
 	Play(stream []Arrival, mine []int32) (ShardResult, error)
+	// PlayStream is Play's pull-based variant: the shard consumes its
+	// assigned arrivals from the feed as they are produced, keeping
+	// memory independent of the job count. Results are identical to
+	// Play over the same per-shard arrival sequence.
+	PlayStream(feed ArrivalFeed) (ShardResult, error)
 }
 
 // EngineReplica is a cycle-level shard: a fully independent simulated
@@ -94,20 +102,7 @@ func (r *EngineReplica) Workers() int { return r.Sch.Workers() }
 // offers.
 func (r *EngineReplica) Play(stream []Arrival, mine []int32) (ShardResult, error) {
 	var sr ShardResult
-	if r.Rec != nil {
-		r.Sch.SetObserver(r.Rec)
-		sr.Windows = r.Rec
-	}
-	if !r.DiscardSamples && r.Sch.Config().Stats != sched.StatsStreaming {
-		r.Sch.OnResult = func(j *sched.Job) {
-			if j.Err != nil {
-				return
-			}
-			sr.Sojourns = append(sr.Sojourns, j.Sojourn())
-			sr.WaitSum += j.Wait()
-			sr.ServiceSum += j.Service()
-		}
-	}
+	r.beginHarvest(&sr)
 	submit := func(a any) { r.Sch.Submit(a.(*sched.Job)) }
 	schedule := func(a *Arrival) {
 		job := a.Job
@@ -123,6 +118,72 @@ func (r *EngineReplica) Play(stream []Arrival, mine []int32) (ShardResult, error
 		}
 	}
 	err := r.Run()
+	r.endHarvest(&sr)
+	return sr, err
+}
+
+// PlayStream fuses arrival generation into the engine run: for each
+// pulled arrival the engine executes every event strictly before the
+// arrival instant (RunBefore), then the job is submitted directly — so
+// the calendar holds only in-flight completion chains, never the
+// O(jobs) pre-scheduled arrival events Play builds. Same-instant
+// ordering is preserved exactly: a submission at t still precedes every
+// queued completion at t, as a pre-scheduled arrival event would by
+// bucket insertion order. In streaming-stats mode retired job records
+// are recycled through a freelist (the scheduler keeps no reference
+// after OnResult), so the whole run allocates O(in-flight) jobs.
+func (r *EngineReplica) PlayStream(feed ArrivalFeed) (ShardResult, error) {
+	var sr ShardResult
+	r.beginHarvest(&sr)
+	streaming := r.Sch.Config().Stats == sched.StatsStreaming
+	var free []*sched.Job
+	if streaming {
+		r.Sch.OnResult = func(j *sched.Job) { free = append(free, j) }
+	}
+	var a Arrival
+	for feed.Next(&a) {
+		r.Eng.RunBefore(a.At)
+		var j *sched.Job
+		if n := len(free); n > 0 {
+			j, free = free[n-1], free[:n-1]
+		} else {
+			j = new(sched.Job)
+		}
+		*j = a.Job
+		if !r.Sch.Submit(j) && streaming && j.Err == nil {
+			// Queue-full bounce: the job was never admitted and never
+			// retired (no OnResult), so the scheduler holds no reference —
+			// recycle the record directly. Submissions refused with an
+			// error were retired and already recycled via OnResult.
+			free = append(free, j)
+		}
+	}
+	err := r.Run()
+	r.endHarvest(&sr)
+	return sr, err
+}
+
+// beginHarvest wires the flight recorder and, in exact mode, the
+// per-job OnResult drain hook into sr before any submission.
+func (r *EngineReplica) beginHarvest(sr *ShardResult) {
+	if r.Rec != nil {
+		r.Sch.SetObserver(r.Rec)
+		sr.Windows = r.Rec
+	}
+	if !r.DiscardSamples && r.Sch.Config().Stats != sched.StatsStreaming {
+		r.Sch.OnResult = func(j *sched.Job) {
+			if j.Err != nil {
+				return
+			}
+			sr.Sojourns = append(sr.Sojourns, j.Sojourn())
+			sr.WaitSum += j.Wait()
+			sr.ServiceSum += j.Service()
+		}
+	}
+}
+
+// endHarvest reads the scheduler's aggregates back after the run.
+func (r *EngineReplica) endHarvest(sr *ShardResult) {
 	sr.Stats = r.Sch.Stats()
 	if d, waits, services, ok := r.Sch.SojournDigest(); ok {
 		// The digest is the scheduler's own table, adopted by the shard
@@ -131,7 +192,6 @@ func (r *EngineReplica) Play(stream []Arrival, mine []int32) (ShardResult, error
 		sr.Digest = d
 		sr.WaitSum, sr.ServiceSum = waits, services
 	}
-	return sr, err
 }
 
 // Arrival is one job offered to the cluster front end at absolute
@@ -164,6 +224,19 @@ type Config struct {
 	// determinism contract verbatim. Nil (or an inactive spec) changes
 	// nothing.
 	Faults *FaultSpec
+
+	// Handoff bounds RunSource's per-shard hand-off buffer for the
+	// stateful front ends (LeastOutstanding, HealthWeighted): how many
+	// routed arrivals the producer may run ahead of a shard's
+	// consumption. <= 0 selects DefaultHandoff. The bound affects only
+	// memory and producer/consumer overlap, never results; Run and the
+	// index-free front ends ignore it.
+	Handoff int
+
+	// Progress, when set, receives coarse delivered-arrival counts and
+	// the simulated-time high-water mark from RunSource's feeds — the
+	// sensor behind duetsim's -progress ticker. Nil disables updates.
+	Progress *Progress
 }
 
 // FaultSpec is the cluster-level slice of a fault plan (the front end
@@ -367,27 +440,9 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
-	if cfg.FrontEnd < 0 || cfg.FrontEnd >= NumFrontEnds {
-		return Result{}, fmt.Errorf("cluster: unknown front end %d", cfg.FrontEnd)
-	}
-	if cfg.NewReplica == nil {
-		return Result{}, fmt.Errorf("cluster: Config.NewReplica is required")
-	}
-	reps := make([]Replica, cfg.Shards)
-	seeds := make([]int64, cfg.Shards)
-	for i := range reps {
-		seeds[i] = ShardSeed(cfg.Seed, i)
-		r, err := cfg.NewReplica(i, seeds[i])
-		if err != nil {
-			return Result{}, fmt.Errorf("cluster: shard %d: %w", i, err)
-		}
-		if r == nil {
-			return Result{}, fmt.Errorf("cluster: shard %d: nil replica", i)
-		}
-		if er, ok := r.(*EngineReplica); ok && (er.Eng == nil || er.Sch == nil || er.Run == nil) {
-			return Result{}, fmt.Errorf("cluster: shard %d: replica needs Eng, Sch and Run", i)
-		}
-		reps[i] = r
+	reps, seeds, err := buildReplicas(cfg)
+	if err != nil {
+		return Result{}, err
 	}
 	// The front end's sequential pre-pass: one shard index per arrival,
 	// regrouped into per-shard index lists. Shards then read their own
@@ -431,6 +486,40 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 			return Result{}, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
 	}
+	return finish(cfg, seeds, results, counts, len(stream), rerouted, hedged)
+}
+
+// buildReplicas validates cfg and constructs every shard sequentially,
+// in shard order, with its derived seed — shared by Run and RunSource.
+func buildReplicas(cfg Config) ([]Replica, []int64, error) {
+	if cfg.FrontEnd < 0 || cfg.FrontEnd >= NumFrontEnds {
+		return nil, nil, fmt.Errorf("cluster: unknown front end %d", cfg.FrontEnd)
+	}
+	if cfg.NewReplica == nil {
+		return nil, nil, fmt.Errorf("cluster: Config.NewReplica is required")
+	}
+	reps := make([]Replica, cfg.Shards)
+	seeds := make([]int64, cfg.Shards)
+	for i := range reps {
+		seeds[i] = ShardSeed(cfg.Seed, i)
+		r, err := cfg.NewReplica(i, seeds[i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		if r == nil {
+			return nil, nil, fmt.Errorf("cluster: shard %d: nil replica", i)
+		}
+		if er, ok := r.(*EngineReplica); ok && (er.Eng == nil || er.Sch == nil || er.Run == nil) {
+			return nil, nil, fmt.Errorf("cluster: shard %d: replica needs Eng, Sch and Run", i)
+		}
+		reps[i] = r
+	}
+	return reps, seeds, nil
+}
+
+// finish stamps per-shard identity onto the results and performs the
+// deterministic shard-order merge — shared by Run and RunSource.
+func finish(cfg Config, seeds []int64, results []ShardResult, counts []int, offered, rerouted, hedged int) (Result, error) {
 	for i := range results {
 		results[i].Shard = i
 		results[i].Seed = seeds[i]
@@ -439,7 +528,7 @@ func Run(cfg Config, stream []Arrival) (Result, error) {
 	res := Result{
 		Shards:   cfg.Shards,
 		FrontEnd: cfg.FrontEnd,
-		Offered:  len(stream),
+		Offered:  offered,
 		PerShard: results,
 		Rerouted: rerouted,
 		Hedged:   hedged,

@@ -247,20 +247,7 @@ func (r *Replica) Workers() int { return r.sch.Workers() }
 // own Job record in place — no per-job allocation at all.
 func (r *Replica) Play(stream []cluster.Arrival, mine []int32) (cluster.ShardResult, error) {
 	var sr cluster.ShardResult
-	if r.rec != nil {
-		r.sch.SetObserver(r.rec)
-		sr.Windows = r.rec
-	}
-	if !r.discard && r.sch.Config().Stats != sched.StatsStreaming {
-		r.sch.OnResult = func(j *sched.Job) {
-			if j.Err != nil {
-				return
-			}
-			sr.Sojourns = append(sr.Sojourns, j.Sojourn())
-			sr.WaitSum += j.Wait()
-			sr.ServiceSum += j.Service()
-		}
-	}
+	r.beginHarvest(&sr)
 	play := func(a *cluster.Arrival) {
 		r.ev.RunUntil(a.At)
 		r.sch.Submit(&a.Job)
@@ -275,10 +262,70 @@ func (r *Replica) Play(stream []cluster.Arrival, mine []int32) (cluster.ShardRes
 		}
 	}
 	r.ev.Drain()
+	r.endHarvest(&sr)
+	return sr, nil
+}
+
+// PlayStream is Play's pull-based variant: the shard consumes its
+// assigned arrivals from the feed as they are produced — same RunUntil
+// fusion, same results — with no materialized stream behind it. In
+// streaming-stats mode retired job records are recycled through a
+// freelist (the scheduler keeps no reference after OnResult fires), so
+// a billion-job run allocates O(in-flight) job records, not O(jobs).
+func (r *Replica) PlayStream(feed cluster.ArrivalFeed) (cluster.ShardResult, error) {
+	var sr cluster.ShardResult
+	r.beginHarvest(&sr)
+	streaming := r.sch.Config().Stats == sched.StatsStreaming
+	var free []*sched.Job
+	if streaming {
+		r.sch.OnResult = func(j *sched.Job) { free = append(free, j) }
+	}
+	var a cluster.Arrival
+	for feed.Next(&a) {
+		r.ev.RunUntil(a.At)
+		var j *sched.Job
+		if n := len(free); n > 0 {
+			j, free = free[n-1], free[:n-1]
+		} else {
+			j = new(sched.Job)
+		}
+		*j = a.Job
+		if !r.sch.Submit(j) && streaming && j.Err == nil {
+			// Queue-full bounce: never admitted, never retired, no
+			// reference kept — recycle directly. Refusals with an error
+			// were retired and already recycled via OnResult.
+			free = append(free, j)
+		}
+	}
+	r.ev.Drain()
+	r.endHarvest(&sr)
+	return sr, nil
+}
+
+// beginHarvest wires the flight recorder and, in exact mode, the
+// per-job OnResult drain hook into sr before any submission.
+func (r *Replica) beginHarvest(sr *cluster.ShardResult) {
+	if r.rec != nil {
+		r.sch.SetObserver(r.rec)
+		sr.Windows = r.rec
+	}
+	if !r.discard && r.sch.Config().Stats != sched.StatsStreaming {
+		r.sch.OnResult = func(j *sched.Job) {
+			if j.Err != nil {
+				return
+			}
+			sr.Sojourns = append(sr.Sojourns, j.Sojourn())
+			sr.WaitSum += j.Wait()
+			sr.ServiceSum += j.Service()
+		}
+	}
+}
+
+// endHarvest reads the scheduler's aggregates back after the run.
+func (r *Replica) endHarvest(sr *cluster.ShardResult) {
 	sr.Stats = r.sch.Stats()
 	if d, waits, services, ok := r.sch.SojournDigest(); ok {
 		sr.Digest = d
 		sr.WaitSum, sr.ServiceSum = waits, services
 	}
-	return sr, nil
 }

@@ -272,6 +272,31 @@ func (e *Engine) RunUntil(deadline Time) int {
 	return n
 }
 
+// RunBefore executes events with timestamps strictly before deadline,
+// then advances the clock to deadline. Events at exactly deadline stay
+// queued — the streaming submission contract: work injected at deadline
+// (outside any event) precedes every already-queued callback at that
+// same instant, exactly as a pre-scheduled arrival event would by bucket
+// insertion order. Unlike Run and RunUntil it does not reap pooled
+// worker coroutines, so a caller fusing a long submission stream into
+// the run keeps the coroutine pool warm between arrivals; the final
+// drain (Run) reaps as usual.
+func (e *Engine) RunBefore(deadline Time) int {
+	e.stopped = false
+	n := 0
+	for len(e.heap) > 0 && !e.stopped {
+		if e.buckets[e.heap[0]].at >= deadline {
+			break
+		}
+		e.step()
+		n++
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return n
+}
+
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return e.pending }
 

@@ -106,6 +106,38 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunBefore pins the strictly-before contract that distinguishes
+// RunBefore from the inclusive RunUntil: events at exactly the deadline
+// stay pending — the streaming cluster path depends on it so a
+// submission at t still precedes completions at t, matching the
+// pre-scheduled arrival ordering of the materialized path.
+func TestRunBefore(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10*NS, func() { ran++ })
+	e.At(20*NS, func() { ran++ })
+	e.At(30*NS, func() { ran++ })
+	if n := e.RunBefore(20 * NS); n != 1 || ran != 1 {
+		t.Fatalf("RunBefore(20ns) ran %d events (n=%d), want 1", ran, n)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (the 20ns event must stay queued)", e.Pending())
+	}
+	if e.Now() != 20*NS {
+		t.Fatalf("Now = %v, want 20ns", e.Now())
+	}
+	// The held-back event runs on the next call past it.
+	if n := e.RunBefore(21 * NS); n != 1 || ran != 2 {
+		t.Fatalf("second RunBefore ran %d events (n=%d), want 1", ran, n)
+	}
+	// Deadline with no events advances time, like RunUntil.
+	e2 := NewEngine()
+	e2.RunBefore(42 * NS)
+	if e2.Now() != 42*NS {
+		t.Fatalf("empty RunBefore Now = %v", e2.Now())
+	}
+}
+
 // TestRunUntilTimeWentBackwardsPanics is the regression test for the
 // RunUntil pop path missing the "event time went backwards" invariant
 // check that Run always had. The invariant cannot be violated through the

@@ -1,0 +1,8 @@
+//go:build !race
+
+package workload
+
+// raceEnabled reports whether the race detector is compiled in; the
+// capacity-scale tests skip under it (its shadow heap and 10-20x
+// slowdown make memory and runtime bounds meaningless).
+const raceEnabled = false

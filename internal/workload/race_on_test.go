@@ -1,0 +1,6 @@
+//go:build race
+
+package workload
+
+// raceEnabled mirrors race_off_test.go under -race builds.
+const raceEnabled = true

@@ -3,7 +3,6 @@ package workload
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 
 	"duet"
 	"duet/internal/accel"
@@ -109,6 +108,12 @@ type ServeConfig struct {
 	// shard series align and the recorded series inherits the study's
 	// determinism contract. 0 disables telemetry.
 	Windows int
+
+	// Progress, when set, receives coarse jobs-done counts and the
+	// simulated-time high-water mark as the run consumes its arrival
+	// stream — the sensor behind `duetsim -progress`. Nil (the default)
+	// disables all updates; the field never affects results.
+	Progress *cluster.Progress
 }
 
 // ServeResult is the outcome of one serve run.
@@ -264,22 +269,31 @@ func newServeReplica(cfg ServeConfig, shard int, checked, harvest bool, windowWi
 	return rep, nil
 }
 
-// windowWidth derives the flight recorder's window width from the
-// arrival stream: the smallest width at which n windows cover every
-// arrival instant (ceil((lastArrival+1)/n)). The stream is a pure
-// function of the serve config, so the width — and with it the window
-// keying of every shard — is too. Zero (telemetry off) when n <= 0 or
-// the stream is empty.
-func windowWidth(stream []cluster.Arrival, n int) sim.Time {
-	if n <= 0 || len(stream) == 0 {
+// spanWidth derives the flight recorder's window width from the arrival
+// stream's final instant: the smallest width at which n windows cover
+// every arrival (ceil((last+1)/n)). The span is a pure function of the
+// serve config, so the width — and with it the window keying of every
+// shard — is too. Streaming runs compute last with ArrivalSource.Span
+// (O(1) memory); materialized runs read stream[len-1].At — identical
+// values, so both paths key windows the same way.
+func spanWidth(last sim.Time, n int) sim.Time {
+	if n <= 0 {
 		return 0
 	}
-	last := stream[len(stream)-1].At // arrivals are generated in ascending order
 	w := (int64(last) + int64(n)) / int64(n)
 	if w < 1 {
 		w = 1
 	}
 	return sim.Time(w)
+}
+
+// windowWidth is spanWidth over a materialized stream. Zero (telemetry
+// off) when n <= 0 or the stream is empty.
+func windowWidth(stream []cluster.Arrival, n int) sim.Time {
+	if n <= 0 || len(stream) == 0 {
+		return 0
+	}
+	return spanWidth(stream[len(stream)-1].At, n) // arrivals are generated in ascending order
 }
 
 // Arrivals generates cfg's open-loop arrival stream (defaults applied) —
@@ -289,38 +303,36 @@ func Arrivals(cfg ServeConfig) []cluster.Arrival {
 	return serveArrivals(cfg.withDefaults())
 }
 
-// serveArrivals generates the study's open-loop arrival stream:
-// exponential gaps, uniform app choice, uniform input sizes, and a loose
-// exponential deadline slack. All draws happen here, in submission order,
-// so the stream is a pure function of cfg — the root of both Serve's and
-// ServeCluster's determinism contracts. cfg must have defaults applied.
+// serveArrivals materializes the study's open-loop arrival stream from
+// ArrivalSource — the single home of the draw sequence, so the
+// materialized and streaming paths are the same stream by construction
+// (a property test pins it). cfg must have defaults applied.
 func serveArrivals(cfg ServeConfig) []cluster.Arrival {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	at := sim.Time(0)
+	src := NewArrivalSource(cfg)
 	arrivals := make([]cluster.Arrival, 0, cfg.Jobs)
-	for i := 0; i < cfg.Jobs; i++ {
-		at += sim.Time(rng.ExpFloat64() * cfg.MeanGapUS * float64(sim.US))
-		j := sched.Job{
-			App:       ServeApps[rng.Intn(len(ServeApps))].Name,
-			InputSize: 64 + rng.Intn(2048),
-			Priority:  rng.Intn(4),
-		}
-		j.Deadline = at + sim.Time((0.2+0.6*rng.ExpFloat64())*float64(sim.MS))
-		arrivals = append(arrivals, cluster.Arrival{At: at, Job: j})
+	var a cluster.Arrival
+	for src.Next(&a) {
+		arrivals = append(arrivals, a)
 	}
 	return arrivals
 }
 
 // Serve plays a seeded open-loop workload through the scheduler and
-// reports its statistics.
+// reports its statistics. The arrival stream is pulled straight from
+// the generator — never materialized — so memory stays flat at any job
+// count.
 func Serve(cfg ServeConfig) ServeResult {
 	cfg = cfg.withDefaults()
-	stream := serveArrivals(cfg)
-	rep, err := newServeReplica(cfg, 0, false, false, windowWidth(stream, cfg.Windows))
+	src := NewArrivalSource(cfg)
+	var width sim.Time
+	if cfg.Windows > 0 {
+		width = spanWidth(src.Span(), cfg.Windows)
+	}
+	rep, err := newServeReplica(cfg, 0, false, false, width)
 	if err != nil {
 		panic(err)
 	}
-	sr, err := rep.Play(stream, nil)
+	sr, err := rep.PlayStream(cluster.NewSourceFeed(src, cfg.Progress))
 	if err != nil {
 		panic(err)
 	}

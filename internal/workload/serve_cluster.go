@@ -5,6 +5,7 @@ import (
 
 	"duet/internal/cluster"
 	"duet/internal/sched"
+	"duet/internal/sim"
 	"duet/internal/study"
 	"duet/internal/telemetry"
 )
@@ -48,6 +49,12 @@ type ClusterConfig struct {
 	// i's backend/fabric-count/soft-CPU/policy configuration. Must be
 	// empty or exactly Shards long.
 	ShardSpecs []ShardSpec
+
+	// Handoff bounds the streaming pipeline's per-shard hand-off buffer
+	// under the stateful front ends (see cluster.Config.Handoff); <= 0
+	// selects cluster.DefaultHandoff. Memory/overlap knob only — results
+	// are identical at every bound.
+	Handoff int
 }
 
 // ClusterResult is the outcome of one sharded serve run.
@@ -93,30 +100,72 @@ func (cfg ClusterConfig) shardConfig(shard int) ServeConfig {
 }
 
 // ServeCluster plays the seeded open-loop workload through a sharded
-// serve farm and reports the merged statistics.
+// serve farm and reports the merged statistics. The arrival stream is
+// consumed straight from the generator through cluster.RunSource —
+// never materialized — so a billion-job study runs at the same peak
+// memory as a million-job one. Results are byte-identical to the
+// materialized path (ServeClusterOver over Arrivals), which property
+// tests pin.
 func ServeCluster(cfg ClusterConfig) (ClusterResult, error) {
-	return ServeClusterOver(cfg, serveArrivals(cfg.ServeConfig.withDefaults()))
+	var err error
+	if cfg, err = cfg.normalized(); err != nil {
+		return ClusterResult{}, err
+	}
+	src := NewArrivalSource(cfg.ServeConfig)
+	var width sim.Time
+	if cfg.Windows > 0 {
+		// Closed-form span from the generator (one extra O(1)-memory
+		// pass), not stream[len-1].At — same value, no stream.
+		width = spanWidth(src.Span(), cfg.Windows)
+	}
+	res, err := cluster.RunSource(cfg.clusterConfig(width), src)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	return cfg.result(res), nil
 }
 
-// ServeClusterOver is ServeCluster over a caller-provided arrival stream
-// (see Arrivals) — benchmarks use it to keep stream generation outside
-// their timed region. The stream is consumed by the run: replicas write
-// job outcomes into it, so callers must generate a fresh stream per run.
+// ServeClusterOver is ServeCluster over a caller-provided materialized
+// arrival stream (see Arrivals) — benchmarks use it to keep stream
+// generation outside their timed region, and the equivalence tests use
+// it as the reference the streaming path must reproduce byte for byte.
+// The stream is consumed by the run: replicas write job outcomes into
+// it, so callers must generate a fresh stream per run.
 func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResult, error) {
+	var err error
+	if cfg, err = cfg.normalized(); err != nil {
+		return ClusterResult{}, err
+	}
+	// One width for every shard, derived from the shared stream, so the
+	// per-shard window series align index for index in the merge.
+	res, err := cluster.Run(cfg.clusterConfig(windowWidth(stream, cfg.Windows)), stream)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	return cfg.result(res), nil
+}
+
+// normalized applies defaults and validates the shard-spec shape.
+func (cfg ClusterConfig) normalized() (ClusterConfig, error) {
 	cfg.ServeConfig = cfg.ServeConfig.withDefaults()
 	if cfg.Shards <= 0 {
 		cfg.Shards = 2
 	}
 	if len(cfg.ShardSpecs) != 0 && len(cfg.ShardSpecs) != cfg.Shards {
-		return ClusterResult{}, fmt.Errorf("workload: %d shard specs for %d shards", len(cfg.ShardSpecs), cfg.Shards)
+		return cfg, fmt.Errorf("workload: %d shard specs for %d shards", len(cfg.ShardSpecs), cfg.Shards)
 	}
-	// One width for every shard, derived from the shared stream, so the
-	// per-shard window series align index for index in the merge.
-	width := windowWidth(stream, cfg.Windows)
+	return cfg, nil
+}
+
+// clusterConfig renders the cluster-level run config; width is the
+// telemetry window width every shard must share.
+func (cfg ClusterConfig) clusterConfig(width sim.Time) cluster.Config {
 	ccfg := cluster.Config{
 		Shards:   cfg.Shards,
 		FrontEnd: cfg.FrontEnd,
 		Seed:     cfg.Seed,
+		Handoff:  cfg.Handoff,
+		Progress: cfg.ServeConfig.Progress,
 		// The serve replica draws nothing locally (arrivals are
 		// pre-generated, accelerators are inert stubs), so the derived
 		// per-shard seed is accepted but unused.
@@ -134,10 +183,11 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 			RecoverHold: cfg.Faults.RecoverHold,
 		}
 	}
-	res, err := cluster.Run(ccfg, stream)
-	if err != nil {
-		return ClusterResult{}, err
-	}
+	return ccfg
+}
+
+// result maps a cluster-level result onto the study's record shape.
+func (cfg ClusterConfig) result(res cluster.Result) ClusterResult {
 	cr := ClusterResult{
 		Policy:   cfg.Policy,
 		Backend:  cfg.Backend,
@@ -152,7 +202,7 @@ func ServeClusterOver(cfg ClusterConfig, stream []cluster.Arrival) (ClusterResul
 	if res.Windows != nil {
 		cr.Windows = res.Windows.Series()
 	}
-	return cr, nil
+	return cr
 }
 
 // ClusterStudy runs one ServeCluster per config on a parallel-wide study

@@ -6,15 +6,16 @@
 #
 # The set covers the two layers PERF.md tracks: the sim-kernel hot path
 # (engine scheduling, clock ticks, same-instant bursts, thread wakeups)
-# and the 1M-job serve studies on both execution backends. -benchtime 1x
-# on the serve benches: one deterministic 1M-job run is the measurement,
+# and the serve studies on both execution backends — the materialized 1M
+# runs plus the 100M-job streaming-pipeline capacity run. -benchtime 1x
+# on the serve benches: one deterministic run is the measurement,
 # iterating it would only multiply CI time.
 set -eu
 cd "$(dirname "$0")/.."
 
 run_benches() {
     go test -run '^$' -bench 'BenchmarkEngineSchedule$|BenchmarkEngineClockTicks$|BenchmarkEngineSameInstantBurst$|BenchmarkThreadPingPong$' -benchtime 200000x ./internal/sim
-    go test -run '^$' -bench 'BenchmarkServeModel1M$|BenchmarkServeStream1M$|BenchmarkServeFaultFree$|BenchmarkServeRecovery$' -benchtime 1x .
+    go test -run '^$' -bench 'BenchmarkServeModel1M$|BenchmarkServeModel100M$|BenchmarkServeStream1M$|BenchmarkServeFaultFree$|BenchmarkServeRecovery$' -benchtime 1x -timeout 30m .
 }
 
 case "${1:-snapshot}" in
